@@ -1,0 +1,93 @@
+"""Ablation: FSB underclocking vs p-state (multiplier) capping.
+
+Section 3 of the paper argues underclocking is the better mechanism:
+it modulates frequency at a finer granularity *and* retains all
+SpeedStep transition states, whereas capping deletes the top states.
+This bench quantifies both claims on the MySQL Q5 workload and compares
+the energy/time tradeoffs available to each mechanism.
+"""
+
+from repro.core.pvc.sweep import PvcSweep
+from repro.hardware.cpu import Cpu, PvcSetting
+from repro.hardware.dvfs import (
+    CappedGovernor,
+    UtilizationGovernor,
+    frequency_steps_hz,
+)
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+
+def run_capping_ablation(runner):
+    sut = runner.sut
+    queries = q5_paper_workload()
+    sweep = PvcSweep(runner, queries)
+    baseline = sweep.measure_at(PvcSetting())
+
+    # Underclocking branch: 5% FSB cut, all p-states retained.
+    under = sweep.measure_at(PvcSetting(5))
+
+    # Capping branch: limit the multiplier to 8 (next step down).
+    original = sut.governor
+    sut.governor = CappedGovernor(max_multiplier=8)
+    try:
+        capped = sweep.measure_at(PvcSetting())
+    finally:
+        sut.governor = original
+
+    cpu = Cpu(sut.cpu_spec)
+    states_stock = len(frequency_steps_hz(cpu, UtilizationGovernor()))
+    states_under = len(frequency_steps_hz(
+        Cpu(sut.cpu_spec, PvcSetting(5)), UtilizationGovernor()
+    ))
+    states_capped = len(frequency_steps_hz(
+        cpu, CappedGovernor(max_multiplier=8)
+    ))
+    return {
+        "baseline": baseline,
+        "underclock": under,
+        "capped": capped,
+        "states": (states_stock, states_under, states_capped),
+        "top_hz": (
+            max(frequency_steps_hz(cpu, UtilizationGovernor())),
+            max(frequency_steps_hz(
+                Cpu(sut.cpu_spec, PvcSetting(5)), UtilizationGovernor()
+            )),
+            max(frequency_steps_hz(cpu, CappedGovernor(max_multiplier=8))),
+        ),
+    }
+
+
+def test_ablation_capping_vs_underclocking(benchmark, mysql_runner):
+    out = benchmark.pedantic(
+        run_capping_ablation, args=(mysql_runner,), rounds=1, iterations=1
+    )
+    base = out["baseline"]
+    table = ComparisonTable(
+        "Ablation: 5% underclock vs multiplier cap at 8 (MySQL Q5)"
+    )
+    table.add("p-states stock", 4, out["states"][0])
+    table.add("p-states underclocked", 4, out["states"][1])
+    table.add("p-states capped", None, out["states"][2])
+    stock_top, under_top, capped_top = out["top_hz"]
+    table.add("frequency step, underclock (MHz)", None,
+              (stock_top - under_top) / 1e6)
+    table.add("frequency step, cap (MHz)", None,
+              (stock_top - capped_top) / 1e6)
+    for name in ("underclock", "capped"):
+        point = out[name]
+        table.add(f"{name} time ratio", None, point.time_s / base.time_s)
+        table.add(f"{name} energy ratio", None,
+                  point.energy_j / base.energy_j)
+    table.print()
+
+    # Underclocking keeps all transition states; capping deletes one.
+    assert out["states"][1] == out["states"][0]
+    assert out["states"][2] < out["states"][0]
+    # Underclocking's frequency step is finer than one multiplier notch.
+    assert (stock_top - under_top) < (stock_top - capped_top)
+    # Consequently the cap costs more response time on a CPU-bound run.
+    assert (
+        out["capped"].time_s / base.time_s
+        > out["underclock"].time_s / base.time_s
+    )

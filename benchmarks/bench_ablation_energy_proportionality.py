@@ -1,0 +1,60 @@
+"""Ablation: how energy proportionality changes the QED opportunity.
+
+Section 2 of the paper (citing Barroso & Holzle) notes that 2008-era
+hardware burns more than half its peak power when idle, and predicts the
+DBMS's share of energy decisions will *grow* as hardware improves.  This
+bench sweeps the CPU's idle-activity factor (a proxy for how
+energy-proportional the part is) and measures the QED batch-50 energy
+saving under each: with perfectly proportional hardware the sequential
+baseline wastes nothing while idling, so QED's relative benefit shifts.
+"""
+
+import dataclasses
+
+from repro.core.qed.executor import QedExecutor
+from repro.hardware.profiles import paper_sut
+from repro.measurement.report import ComparisonTable
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import selection_workload
+
+IDLE_ACTIVITY_LEVELS = [0.40, 0.20, 0.08, 0.02]
+
+
+def run_proportionality_sweep(db):
+    results = {}
+    queries = selection_workload(50).queries
+    for idle_activity in IDLE_ACTIVITY_LEVELS:
+        sut = paper_sut()
+        sut.cpu_spec = dataclasses.replace(
+            sut.cpu_spec, idle_activity=idle_activity
+        )
+        executor = QedExecutor(WorkloadRunner(db, sut))
+        results[idle_activity] = executor.compare(queries)
+    return results
+
+
+def test_ablation_energy_proportionality(benchmark, lineitem_runner):
+    results = benchmark.pedantic(
+        run_proportionality_sweep, args=(lineitem_runner.db,),
+        rounds=1, iterations=1,
+    )
+    table = ComparisonTable(
+        "Ablation: QED batch-50 savings vs hardware energy"
+        " proportionality (idle activity factor)"
+    )
+    for idle_activity, comparison in results.items():
+        table.add(f"idle activity {idle_activity:.2f}: energy delta",
+                  None, comparison.energy_delta)
+        table.add(f"idle activity {idle_activity:.2f}: EDP delta",
+                  None, comparison.edp_delta)
+    table.print()
+
+    # QED saves energy at every proportionality level...
+    for comparison in results.values():
+        assert comparison.energy_delta < -0.3
+    # ...and the sweep produces a monotone trend in idle activity,
+    # confirming idle power is a real term in the QED arithmetic.
+    deltas = [results[a].energy_delta for a in IDLE_ACTIVITY_LEVELS]
+    assert deltas == sorted(deltas) or deltas == sorted(
+        deltas, reverse=True
+    )

@@ -1,0 +1,60 @@
+"""Ablation: global consolidation vs the local PVC saving.
+
+Section 2 of the paper lists global levers (higher utilization, turning
+servers off) alongside the local ones it contributes.  This bench puts
+numbers on both, using the same calibrated machine: fleet-level
+consolidation savings across load levels, versus the local PVC setting-A
+saving on a single busy server -- showing the two compose rather than
+compete.
+"""
+
+import pytest
+
+from repro.core.fleet import Fleet, ServerSpec, server_from_sut
+from repro.core.pvc.sweep import PvcSweep
+from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+LOADS = [1.0, 2.0, 4.0, 6.0]
+
+
+def run_fleet_ablation(runner):
+    base = server_from_sut(runner.sut)
+    fleet = Fleet([
+        ServerSpec(f"node{i}", base.idle_wall_w, base.busy_wall_w,
+                   base.sleep_wall_w)
+        for i in range(8)
+    ])
+    consolidation = {
+        load: fleet.consolidation_saving(load) for load in LOADS
+    }
+    sweep = PvcSweep(runner, q5_paper_workload())
+    stock = sweep.measure_at(PvcSetting())
+    setting_a = sweep.measure_at(PvcSetting(5, VoltageDowngrade.MEDIUM))
+    pvc_saving = 1.0 - setting_a.energy_j / stock.energy_j
+    return consolidation, pvc_saving
+
+
+def test_ablation_fleet_vs_pvc(benchmark, commercial_runner):
+    consolidation, pvc_saving = benchmark.pedantic(
+        run_fleet_ablation, args=(commercial_runner,),
+        rounds=1, iterations=1,
+    )
+    table = ComparisonTable(
+        "Global consolidation saving vs local PVC saving"
+    )
+    for load, saving in consolidation.items():
+        table.add(f"consolidation saving at load {load:.0f}/8", None,
+                  saving)
+    table.add("PVC setting-A CPU saving (local)", 0.49, pvc_saving)
+    table.print()
+
+    # Consolidation dominates at low fleet load and decays with load.
+    savings = [consolidation[load] for load in LOADS]
+    assert savings == sorted(savings, reverse=True)
+    assert savings[0] > 0.5
+    assert savings[-1] == pytest.approx(0.0, abs=0.05)
+    # The local PVC saving is the paper's ~49% and applies to whichever
+    # servers stay awake.
+    assert pvc_saving == pytest.approx(0.49, abs=0.03)

@@ -1,0 +1,70 @@
+"""Figure 1: TPC-H Q5 on the commercial DBMS -- energy vs response time.
+
+Regenerates the paper's opening plot: the ten-query Q5 workload at the
+traditional operating point plus settings A/B/C (5/10/15% underclock,
+medium voltage downgrade).  Absolute magnitudes are extrapolated to the
+paper's SF 1.0 (work scales linearly with data); the figure's claims --
+A saves 49% CPU energy for a 3% slowdown, B and C are strictly worse --
+are asserted on the measured points.
+"""
+
+import pytest
+
+from repro.calibration import targets
+from repro.core.pvc.sweep import PvcSweep
+from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+SETTINGS = {
+    "A": PvcSetting(5, VoltageDowngrade.MEDIUM),
+    "B": PvcSetting(10, VoltageDowngrade.MEDIUM),
+    "C": PvcSetting(15, VoltageDowngrade.MEDIUM),
+}
+
+
+def run_figure1(runner, scale_factor):
+    sweep = PvcSweep(runner, q5_paper_workload())
+    curve = sweep.run(list(SETTINGS.values()))
+    relabeled = {
+        point.setting: point for point in curve.points
+    }
+    return curve, relabeled, scale_factor
+
+
+def test_fig1_commercial_tradeoff(benchmark, commercial_runner, bench_sf):
+    curve, by_setting, sf = benchmark.pedantic(
+        run_figure1, args=(commercial_runner, bench_sf),
+        rounds=1, iterations=1,
+    )
+    base = curve.baseline
+    table = ComparisonTable(
+        "Figure 1: TPC-H Q5 on a commercial DBMS (extrapolated to SF 1.0)"
+    )
+    table.add("stock response time (s)",
+              targets.COMMERCIAL_STOCK_SECONDS, base.time_s / sf, unit="s")
+    table.add("stock CPU energy (J)",
+              targets.COMMERCIAL_STOCK_CPU_JOULES, base.energy_j / sf,
+              unit="J")
+    point_a = by_setting[SETTINGS["A"]]
+    table.add("setting A energy ratio", 0.51,
+              point_a.energy_j / base.energy_j)
+    table.add("setting A time ratio", 1.03, point_a.time_s / base.time_s)
+    for label in ("B", "C"):
+        point = by_setting[SETTINGS[label]]
+        table.add(f"setting {label} energy (J, SF 1.0)", None,
+                  point.energy_j / sf, unit="J")
+        table.add(f"setting {label} time (s, SF 1.0)", None,
+                  point.time_s / sf, unit="s")
+    table.print()
+
+    # The figure's qualitative content: A dominates B and C.
+    a = by_setting[SETTINGS["A"]]
+    b = by_setting[SETTINGS["B"]]
+    c = by_setting[SETTINGS["C"]]
+    assert a.energy_j < b.energy_j < c.energy_j
+    assert a.time_s < b.time_s < c.time_s
+    assert curve.best_by_edp().setting == SETTINGS["A"]
+    # Headline: ~49% CPU energy saving for ~3% time penalty.
+    assert a.energy_j / base.energy_j == pytest.approx(0.51, abs=0.03)
+    assert a.time_s / base.time_s == pytest.approx(1.03, abs=0.01)

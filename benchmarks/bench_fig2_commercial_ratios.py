@@ -1,0 +1,58 @@
+"""Figure 2: commercial DBMS, energy-ratio vs time-ratio plane.
+
+Regenerates the paper's Figure 2: both small and medium voltage
+downgrades at 5/10/15% underclock, plotted as ratios to stock, with the
+iso-EDP curve.  The text quotes the EDP deltas: small -30/-22/-15%,
+medium -47/-38/-23%.
+"""
+
+import pytest
+
+from repro.calibration import targets
+from repro.core.pvc.sweep import PvcSweep
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+
+def run_figure2(runner):
+    sweep = PvcSweep(runner, q5_paper_workload())
+    return sweep.run()
+
+
+def test_fig2_commercial_ratio_plane(benchmark, commercial_runner):
+    curve = benchmark.pedantic(
+        run_figure2, args=(commercial_runner,), rounds=1, iterations=1
+    )
+    table = ComparisonTable(
+        "Figure 2: commercial DBMS energy/time ratios and EDP deltas"
+    )
+    ratios = {r.label: r for r in curve.ratios()}
+    for downgrade in ("small", "medium"):
+        for pct in (5, 10, 15):
+            point = ratios[f"{pct}% underclock / {downgrade}"]
+            paper_edp = targets.EDP_DELTAS[("commercial", downgrade)][pct]
+            table.add(f"{downgrade:6s} {pct:2d}% EDP delta",
+                      paper_edp, point.edp_delta)
+            table.add(f"{downgrade:6s} {pct:2d}% energy ratio",
+                      targets.energy_ratio_target(
+                          "commercial", downgrade, pct),
+                      point.energy_ratio)
+            table.add(f"{downgrade:6s} {pct:2d}% time ratio",
+                      targets.commercial_time_ratio(pct),
+                      point.time_ratio)
+    table.print()
+
+    # Every downgraded point sits below the iso-EDP curve ("interesting")
+    interesting = curve.interesting_points()
+    assert len(interesting) == 6
+    # Medium 5% has the lowest EDP; EDP worsens with deeper underclock.
+    for downgrade in ("small", "medium"):
+        series = [
+            ratios[f"{pct}% underclock / {downgrade}"].edp_delta
+            for pct in (5, 10, 15)
+        ]
+        assert series == sorted(series)
+        for pct in (5, 10, 15):
+            point = ratios[f"{pct}% underclock / {downgrade}"]
+            paper_edp = targets.EDP_DELTAS[("commercial", downgrade)][pct]
+            assert point.edp_delta == pytest.approx(paper_edp, abs=0.05)

@@ -1,0 +1,59 @@
+"""Figure 3: TPC-H Q5 on MySQL (memory engine) -- PVC ratio plane.
+
+The paper runs the same ten-query Q5 workload on MySQL 5.1 with the
+MEMORY storage engine "to stress the CPU" (SF 0.125).  EDP deltas from
+the text: small -7/-0.4/+9%, medium -16/-8/0%.  Small 15% is the one
+setting *worse* than stock EDP.
+"""
+
+import pytest
+
+from repro.calibration import targets
+from repro.core.pvc.sweep import PvcSweep
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+
+def run_figure3(runner):
+    return PvcSweep(runner, q5_paper_workload()).run()
+
+
+def test_fig3_mysql_ratio_plane(benchmark, mysql_runner):
+    curve = benchmark.pedantic(
+        run_figure3, args=(mysql_runner,), rounds=1, iterations=1
+    )
+    ratios = {r.label: r for r in curve.ratios()}
+    table = ComparisonTable("Figure 3: MySQL (memory engine) PVC ratios")
+    for downgrade in ("small", "medium"):
+        for pct in (5, 10, 15):
+            point = ratios[f"{pct}% underclock / {downgrade}"]
+            table.add(
+                f"{downgrade:6s} {pct:2d}% energy ratio",
+                targets.energy_ratio_target("mysql", downgrade, pct),
+                point.energy_ratio,
+            )
+            table.add(
+                f"{downgrade:6s} {pct:2d}% time ratio",
+                targets.mysql_time_ratio(pct),
+                point.time_ratio,
+            )
+            table.add(
+                f"{downgrade:6s} {pct:2d}% EDP delta",
+                targets.EDP_DELTAS[("mysql", downgrade)][pct],
+                point.edp_delta,
+            )
+    table.print()
+
+    # Headline: -20% energy at +6% time (5% underclock, medium).
+    headline = ratios["5% underclock / medium"]
+    assert headline.energy_ratio == pytest.approx(0.80, abs=0.03)
+    assert headline.time_ratio == pytest.approx(1.055, abs=0.01)
+    # Small 15% underclock is worse than stock EDP (+9% in the paper).
+    assert ratios["15% underclock / small"].edp_delta > 0
+    # EDP worsens monotonically beyond 5% underclocking.
+    for downgrade in ("small", "medium"):
+        series = [
+            ratios[f"{pct}% underclock / {downgrade}"].edp_delta
+            for pct in (5, 10, 15)
+        ]
+        assert series == sorted(series)

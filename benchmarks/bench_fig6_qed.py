@@ -1,0 +1,65 @@
+"""Figure 6: QED energy vs average per-query response time.
+
+Regenerates the paper's QED experiment: 2%-selectivity selections on
+``l_quantity``, batch sizes 35/40/45/50, sequential evaluation vs one
+aggregated disjunctive query plus a client-side split.  Paper points:
+batch 35 -> (-46% energy, +52% response, EDP -18%); batch 40 -> (-51%,
++50%, EDP -26%); batch 50 is the headline (-54%, +43%) and the best EDP.
+"""
+
+import pytest
+
+from repro.calibration import targets
+from repro.core.qed.executor import QedExecutor
+from repro.measurement.report import ComparisonTable
+from repro.workloads.selection import selection_workload
+
+
+def run_figure6(runner):
+    executor = QedExecutor(runner)
+    return {
+        n: executor.compare(selection_workload(n).queries)
+        for n in targets.QED_BATCH_SIZES
+    }
+
+
+def test_fig6_qed_tradeoff(benchmark, lineitem_runner):
+    comparisons = benchmark.pedantic(
+        run_figure6, args=(lineitem_runner,), rounds=1, iterations=1
+    )
+    table = ComparisonTable("Figure 6: QED vs sequential, per batch size")
+    for n, comparison in comparisons.items():
+        e_delta, r_delta, edp_delta = targets.QED_POINTS[n]
+        table.add(f"batch {n} energy delta", e_delta,
+                  comparison.energy_delta)
+        table.add(f"batch {n} response delta", r_delta,
+                  comparison.response_delta)
+        if edp_delta is not None:
+            table.add(f"batch {n} EDP delta", edp_delta,
+                      comparison.edp_delta)
+    table.print()
+
+    # Quantitative check per point.
+    for n, comparison in comparisons.items():
+        e_delta, r_delta, _ = targets.QED_POINTS[n]
+        assert comparison.energy_delta == pytest.approx(
+            e_delta, abs=targets.QED_RATIO_TOLERANCE
+        )
+        assert comparison.response_delta == pytest.approx(
+            r_delta, abs=targets.QED_RATIO_TOLERANCE
+        )
+    # Shape: bigger batches save more energy with (weakly) less average
+    # response degradation, so batch 50 has the best EDP.
+    energies = [comparisons[n].energy_ratio
+                for n in targets.QED_BATCH_SIZES]
+    responses = [comparisons[n].response_ratio
+                 for n in targets.QED_BATCH_SIZES]
+    edps = [comparisons[n].edp_ratio for n in targets.QED_BATCH_SIZES]
+    assert energies == sorted(energies, reverse=True)
+    assert responses == sorted(responses, reverse=True)
+    assert edps[-1] == min(edps)
+    # First-query degradation grows with batch size (paper Sec. 4).
+    assert (
+        comparisons[50].position_degradation()[0]
+        > comparisons[35].position_degradation()[0]
+    )

@@ -1,0 +1,64 @@
+"""Section 3.5: CPU vs disk energy on warm and cold runs.
+
+Paper numbers (SF 1.0, ten-query Q5 workload on the commercial DBMS):
+warm 48.5 s, CPU 1228.7 J, disk 214.7 J (disk ~1/6 of CPU); cold (after
+reboot) 156 s, CPU 2146.0 J, disk 1135.4 J (disk more than half of CPU).
+"""
+
+import pytest
+
+from repro.calibration import targets
+from repro.measurement.report import ComparisonTable
+from repro.workloads.tpch.queries import q5_paper_workload
+
+
+def run_warm_cold(runner):
+    queries = q5_paper_workload()
+    runner.db.cool()
+    cold = runner.run_queries(queries).total
+    warm = runner.run_queries(queries).total  # pool is now hot
+    return warm, cold
+
+
+def test_sec35_warm_vs_cold(benchmark, commercial_runner, bench_sf):
+    warm, cold = benchmark.pedantic(
+        run_warm_cold, args=(commercial_runner,), rounds=1, iterations=1
+    )
+    sf = bench_sf
+    table = ComparisonTable(
+        "Sec 3.5: warm vs cold runs (extrapolated to SF 1.0)"
+    )
+    table.add("warm seconds", targets.COMMERCIAL_STOCK_SECONDS,
+              warm.duration_s / sf, unit="s")
+    table.add("warm CPU joules", targets.COMMERCIAL_STOCK_CPU_JOULES,
+              warm.cpu_joules / sf, unit="J")
+    table.add("warm disk joules", targets.WARM_DISK_JOULES,
+              warm.disk_joules / sf, unit="J")
+    table.add("cold seconds", targets.COLD_RUN_SECONDS,
+              cold.duration_s / sf, unit="s")
+    table.add("cold CPU joules", targets.COLD_CPU_JOULES,
+              cold.cpu_joules / sf, unit="J")
+    table.add("cold disk joules", targets.COLD_DISK_JOULES,
+              cold.disk_joules / sf, unit="J")
+    table.add("disk/CPU energy, warm",
+              targets.WARM_DISK_JOULES / targets.COMMERCIAL_STOCK_CPU_JOULES,
+              warm.disk_joules / warm.cpu_joules)
+    table.add("disk/CPU energy, cold",
+              targets.COLD_DISK_JOULES / targets.COLD_CPU_JOULES,
+              cold.disk_joules / cold.cpu_joules)
+    table.print()
+
+    # Warm: disk ~ 1/6 of CPU energy.
+    assert warm.disk_joules / warm.cpu_joules == pytest.approx(
+        1 / 6, abs=0.05
+    )
+    # Cold: ~3x longer, disk more than half the CPU energy.
+    assert cold.duration_s / warm.duration_s == pytest.approx(3.2, abs=0.4)
+    assert cold.disk_joules > 0.5 * cold.cpu_joules
+    for paper, measured in (
+        (targets.COLD_CPU_JOULES, cold.cpu_joules / sf),
+        (targets.COLD_DISK_JOULES, cold.disk_joules / sf),
+    ):
+        assert measured == pytest.approx(
+            paper, rel=targets.WARMCOLD_REL_TOLERANCE
+        )

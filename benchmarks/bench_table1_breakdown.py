@@ -1,0 +1,33 @@
+"""Table 1: system power breakdown during the component buildup.
+
+Regenerates the paper's Table 1: wall power measured as the machine is
+assembled -- PSU+motherboard (off, then on), +CPU/fan, +1G RAM, +2G RAM,
++GPU.
+"""
+
+from repro.calibration import targets
+from repro.hardware.profiles import paper_sut
+from repro.measurement.report import ComparisonTable
+
+
+def run_breakdown() -> ComparisonTable:
+    sut = paper_sut()
+    table = ComparisonTable("Table 1: system power breakdown (wall W)")
+    rows = targets.TABLE1_ROWS
+    table.add(rows[0].description, rows[0].watts,
+              sut.soft_off_wall_power_w(), unit="W")
+    for row in rows[1:]:
+        measured = sut.idle_wall_power_w(
+            with_cpu=row.with_cpu,
+            dimm_count=row.dimm_count,
+            with_gpu=row.with_gpu,
+            with_disk=False,
+        )
+        table.add(row.description, row.watts, measured, unit="W")
+    return table
+
+
+def test_table1_power_breakdown(benchmark):
+    table = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    table.print()
+    assert table.max_abs_error() < 0.05  # within 5% on every row

@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the paper's experiments at ``BENCH_SF`` (0.05 by
+default -- override with ``REPRO_BENCH_SF``) and extrapolate absolute
+magnitudes to the paper's scale factor where relevant; all *ratios* are
+scale-invariant (see DESIGN.md).  Each bench prints a paper-vs-measured
+table via ``repro.measurement.report.ComparisonTable``; run with ``-s``
+to see them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.db.profiles import commercial_profile, mysql_profile
+from repro.hardware.profiles import paper_sut
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.tpch.generator import tpch_database
+from repro.workloads.tpch.queries import Q5_TABLES
+
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def bench_sf() -> float:
+    return BENCH_SF
+
+
+@pytest.fixture(scope="session")
+def commercial_runner():
+    """Warmed commercial-profile TPC-H database on the paper machine."""
+    db = tpch_database(
+        BENCH_SF, commercial_profile(BENCH_SF), seed=0, tables=Q5_TABLES
+    )
+    db.warm()
+    return WorkloadRunner(db, paper_sut())
+
+
+@pytest.fixture(scope="session")
+def mysql_runner():
+    """Memory-engine TPC-H database on the paper machine."""
+    db = tpch_database(BENCH_SF, mysql_profile(), seed=0, tables=Q5_TABLES)
+    return WorkloadRunner(db, paper_sut())
+
+
+@pytest.fixture(scope="session")
+def lineitem_runner():
+    """Lineitem-only memory database for the QED experiments."""
+    db = tpch_database(BENCH_SF, mysql_profile(), seed=0,
+                       tables=["lineitem"])
+    return WorkloadRunner(db, paper_sut())

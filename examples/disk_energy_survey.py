@@ -1,0 +1,69 @@
+"""Scenario: the disk-energy study of Section 3.5 and Figure 5.
+
+Reproduces the access-pattern microbenchmark (sequential vs random reads
+at several block sizes, throughput and energy per KB) and the warm/cold
+workload comparison, printing rail-level (5 V / 12 V) energy like the
+paper's current-probe setup.
+
+    python examples/disk_energy_survey.py [scale_factor]
+"""
+
+import sys
+
+import repro
+from repro.hardware.disk import Disk
+from repro.measurement.meter import InstrumentPanel
+from repro.workloads.tpch.queries import Q5_TABLES
+
+
+def access_pattern_survey() -> None:
+    disk = Disk()
+    print("Figure 5: reading 1.6 GB with different access patterns")
+    print(f"  {'block':>6} {'seq MB/s':>9} {'rand MB/s':>10}"
+          f" {'seq mJ/KB':>10} {'rand mJ/KB':>11}")
+    for block in (4096, 8192, 16384, 32768):
+        seq = disk.throughput_bps(block, sequential=True)
+        rand = disk.throughput_bps(block, sequential=False)
+        seq_e = disk.energy_per_kb(block, sequential=True) * 1e3
+        rand_e = disk.energy_per_kb(block, sequential=False) * 1e3
+        print(f"  {block // 1024:4d}KB {seq / 1e6:9.1f} {rand / 1e6:10.3f}"
+              f" {seq_e:10.4f} {rand_e:11.2f}")
+    print("  -> sequential is flat; random improves sub-proportionally\n")
+
+
+def warm_cold_survey(scale_factor: float) -> None:
+    db = repro.tpch_database(
+        scale_factor, repro.commercial_profile(scale_factor),
+        tables=Q5_TABLES,
+    )
+    runner = repro.WorkloadRunner(db, repro.default_system())
+    panel = InstrumentPanel()
+    queries = repro.q5_paper_workload()
+
+    db.cool()  # the paper reboots before the cold run
+    cold = runner.run_queries(queries).total
+    warm = runner.run_queries(queries).total
+
+    print(f"Sec 3.5: ten-query Q5 workload (SF {scale_factor})")
+    for name, run in (("warm", warm), ("cold", cold)):
+        reading = panel.read(run)
+        print(f"  {name}: {run.duration_s:6.2f}s  "
+              f"CPU {reading.exact_cpu_joules:8.2f}J  "
+              f"disk {reading.disk_joules:7.2f}J "
+              f"(5V {reading.disk_5v_joules:6.2f}J / "
+              f"12V {reading.disk_12v_joules:6.2f}J)")
+    print(f"  cold/warm time ratio: "
+          f"{cold.duration_s / warm.duration_s:.2f} (paper ~3.2)")
+    print(f"  disk/CPU energy: warm "
+          f"{warm.disk_joules / warm.cpu_joules:.2f} (paper ~1/6), cold "
+          f"{cold.disk_joules / cold.cpu_joules:.2f} (paper >0.5)")
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    access_pattern_survey()
+    warm_cold_survey(scale_factor)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Scenario: energy as a first-class metric across the stack.
+
+The paper's thesis is that energy should be "a first-class performance
+goal" at every level: plan costing, mid-flight control, and global
+scheduling.  This script demonstrates all three extensions on top of
+the reproduced mechanisms:
+
+1. plan-level (time, energy) estimates and objective-weighted ranking;
+2. mid-flight PVC adaptation under a response-time deadline;
+3. fleet-level consolidation with server sleep.
+
+    python examples/energy_aware_optimizer.py [scale_factor]
+"""
+
+import sys
+
+import repro
+from repro.workloads.tpch.queries import Q5_TABLES
+
+
+def plan_costing(db: repro.Database) -> None:
+    print("1. Energy-aware plan costing")
+    sut = repro.default_system()
+    coster = repro.PlanCoster(db.profile, sut)
+    candidates = {
+        "Q5 (6-way join + group by)": repro.q5(),
+        "Q6 (selection + sum)": repro.q6(),
+        "Q1 (scan + wide aggregate)": repro.q1(),
+    }
+    print(f"   {'query':28s} {'est time':>9} {'est energy':>11}"
+          f" {'est EDP':>10}")
+    for name, sql in candidates.items():
+        estimate = coster.cost(db.plan(sql))
+        print(f"   {name:28s} {estimate.time_s:8.3f}s"
+              f" {estimate.energy_j:10.2f}J {estimate.edp:10.3f}")
+    plans = [db.plan(sql) for sql in candidates.values()]
+    for weights, label in (
+        (repro.TIME_OPTIMAL, "time-optimal"),
+        (repro.ENERGY_OPTIMAL, "energy-optimal"),
+    ):
+        ranked = repro.rank_plans(plans, coster, weights)
+        cheapest = list(candidates)[plans.index(ranked[0][0])]
+        print(f"   {label:>14s} objective ranks first: {cheapest}")
+    print()
+
+
+def midflight(db: repro.Database) -> None:
+    print("2. Mid-flight PVC adaptation (deadline-aware)")
+    runner = repro.WorkloadRunner(db, repro.default_system())
+    queries = repro.q5_paper_workload()
+    runner.sut.apply_setting(repro.STOCK_SETTING)
+    stock = runner.run_queries(queries)
+    controller = repro.AdaptiveController(runner)
+    for slack, label in ((1.02, "tight"), (1.5, "loose")):
+        outcome = controller.run(
+            queries, deadline_s=stock.duration_s * slack
+        )
+        used = {s.describe() for s in outcome.settings_used}
+        print(f"   {label} deadline (x{slack}): "
+              f"met={outcome.met_deadline}, "
+              f"energy {outcome.cpu_joules / stock.total.cpu_joules - 1:+.1%}"
+              f" vs stock, settings used: {sorted(used)}")
+    print()
+
+
+def fleet_level() -> None:
+    print("3. Global scheduling: consolidation + server sleep")
+    server = repro.server_from_sut(repro.default_system())
+    fleet = repro.Fleet([
+        repro.ServerSpec(f"node{i}", server.idle_wall_w,
+                         server.busy_wall_w, server.sleep_wall_w)
+        for i in range(8)
+    ])
+    print(f"   per-server wall power: idle {server.idle_wall_w:.1f}W, "
+          f"busy {server.busy_wall_w:.1f}W, sleep "
+          f"{server.sleep_wall_w:.1f}W")
+    print(f"   {'load':>6} {'spread W':>9} {'packed W':>9} {'saving':>7}")
+    for load in (1.0, 2.0, 4.0, 6.0):
+        spread = fleet.wall_power_w(fleet.spread(load))
+        packed = fleet.wall_power_w(fleet.consolidate(load))
+        saving = fleet.consolidation_saving(load)
+        print(f"   {load:6.1f} {spread:9.1f} {packed:9.1f} {saving:7.1%}")
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    db = repro.tpch_database(
+        scale_factor, repro.mysql_profile(), tables=Q5_TABLES + ["part"]
+    )
+    plan_costing(db)
+    midflight(db)
+    fleet_level()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: run the paper's two mechanisms end to end.
+
+Loads a small TPC-H instance into the embedded engine, measures the
+ten-query Q5 workload across PVC operating points on the simulated
+machine, and runs one QED batch-vs-sequential comparison.
+
+    python examples/quickstart.py [scale_factor]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+
+    print(f"== ecoDB quickstart (TPC-H scale factor {scale_factor}) ==\n")
+
+    # 1. A DBMS on a simulated machine -----------------------------------
+    db = repro.tpch_database(scale_factor, repro.mysql_profile())
+    sut = repro.default_system()
+    runner = repro.WorkloadRunner(db, sut)
+
+    result = db.execute(repro.q5())
+    print("TPC-H Q5 (ASIA, 1994):")
+    for nation, revenue in result.rows():
+        print(f"  {nation:15s} revenue = {revenue:14.2f}")
+    print()
+
+    # 2. PVC: trade energy for performance -------------------------------
+    print("PVC sweep over the paper's operating points:")
+    curve = repro.PvcSweep(runner, repro.q5_paper_workload()).run()
+    print(f"  {'setting':28s} {'energy':>7} {'time':>6} {'EDP':>7}")
+    for label, energy, time, edp_delta in curve.rows():
+        print(f"  {label:28s} {energy:7.3f} {time:6.3f} {edp_delta:+7.1%}")
+    best = curve.best_by_edp()
+    print(f"  best EDP: {best.label}\n")
+
+    # 3. QED: trade response time for energy ------------------------------
+    executor = repro.QedExecutor(runner)
+    workload = repro.selection_workload(35)
+    comparison = executor.compare(workload.queries)
+    print("QED, batch of 35 selection queries:")
+    print(f"  energy per query : {comparison.energy_delta:+.1%}")
+    print(f"  avg response time: {comparison.response_delta:+.1%}")
+    print(f"  EDP              : {comparison.edp_delta:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

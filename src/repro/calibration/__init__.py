@@ -1,0 +1,5 @@
+"""Calibration targets (paper numbers) and model-fit checks."""
+
+from repro.calibration import targets
+
+__all__ = ["targets"]

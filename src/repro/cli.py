@@ -1,0 +1,159 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+    python -m repro table1
+    python -m repro pvc --profile commercial --sf 0.05
+    python -m repro qed --sf 0.05 --batches 35 40 45 50
+    python -m repro disk
+    python -m repro warmcold --sf 0.05
+    python -m repro experiments --sf 0.02      # everything, compact
+
+Each command prints a paper-vs-measured table (see
+:mod:`repro.measurement.report`) and exits non-zero if any reproduction
+check fails its documented tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.calibration import fit, targets
+from repro.measurement.report import ComparisonTable
+
+
+def _table_from_residuals(title: str, residuals) -> ComparisonTable:
+    table = ComparisonTable(title)
+    for r in residuals:
+        table.add(r.label, r.paper, r.measured)
+    return table
+
+
+def cmd_table1(_args) -> int:
+    table = _table_from_residuals(
+        "Table 1: system power breakdown (wall W)",
+        fit.table1_residuals(),
+    )
+    table.print()
+    bad = [
+        r for r in fit.table1_residuals()
+        if r.abs_error > targets.TABLE1_WATTS_TOLERANCE
+    ]
+    return 1 if bad else 0
+
+
+def cmd_pvc(args) -> int:
+    residuals = fit.pvc_residuals(args.profile, args.sf)
+    table = _table_from_residuals(
+        f"PVC sweep: {args.profile} profile (ratios vs stock)", residuals
+    )
+    table.print()
+    bad = [
+        r for r in residuals
+        if r.abs_error > targets.PVC_RATIO_TOLERANCE
+    ]
+    for r in bad:
+        print(f"OUT OF TOLERANCE: {r.label} "
+              f"(paper {r.paper:.3f}, measured {r.measured:.3f})")
+    return 1 if bad else 0
+
+
+def cmd_qed(args) -> int:
+    residuals = fit.qed_residuals(
+        args.sf, batch_sizes=tuple(args.batches)
+    )
+    table = _table_from_residuals(
+        "QED vs sequential (Figure 6 ratios)", residuals
+    )
+    table.print()
+    bad = [
+        r for r in residuals
+        if r.abs_error > targets.QED_RATIO_TOLERANCE
+    ]
+    return 1 if bad else 0
+
+
+def cmd_disk(_args) -> int:
+    residuals = fit.fig5_residuals()
+    table = _table_from_residuals(
+        "Figure 5: random-read improvement factors", residuals
+    )
+    table.print()
+    bad = [
+        r for r in residuals
+        if r.rel_error > targets.FIG5_IMPROVEMENT_REL_TOLERANCE
+    ]
+    return 1 if bad else 0
+
+
+def cmd_warmcold(args) -> int:
+    residuals = fit.warm_cold_residuals(args.sf)
+    table = _table_from_residuals(
+        "Section 3.5: warm vs cold (SF-1.0 magnitudes)", residuals
+    )
+    table.print()
+    bad = [
+        r for r in residuals
+        if r.rel_error > targets.WARMCOLD_REL_TOLERANCE
+    ]
+    return 1 if bad else 0
+
+
+def cmd_experiments(args) -> int:
+    status = 0
+    status |= cmd_table1(args)
+    for profile in ("commercial", "mysql"):
+        args.profile = profile
+        status |= cmd_pvc(args)
+    status |= cmd_disk(args)
+    status |= cmd_warmcold(args)
+    args.batches = list(targets.QED_BATCH_SIZES)
+    status |= cmd_qed(args)
+    print("\nall experiments within tolerance"
+          if status == 0 else "\nSOME EXPERIMENTS OUT OF TOLERANCE")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the CIDR'09 ecoDB experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1 power breakdown")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("pvc", help="PVC sweep (Figures 1-3)")
+    p.add_argument("--profile", choices=("commercial", "mysql"),
+                   default="commercial")
+    p.add_argument("--sf", type=float, default=0.02,
+                   help="TPC-H scale factor")
+    p.set_defaults(func=cmd_pvc)
+
+    p = sub.add_parser("qed", help="QED comparison (Figure 6)")
+    p.add_argument("--sf", type=float, default=0.05)
+    p.add_argument("--batches", type=int, nargs="+",
+                   default=list(targets.QED_BATCH_SIZES))
+    p.set_defaults(func=cmd_qed)
+
+    p = sub.add_parser("disk", help="disk access patterns (Figure 5)")
+    p.set_defaults(func=cmd_disk)
+
+    p = sub.add_parser("warmcold", help="warm vs cold runs (Sec 3.5)")
+    p.add_argument("--sf", type=float, default=0.02)
+    p.set_defaults(func=cmd_warmcold)
+
+    p = sub.add_parser("experiments", help="run everything")
+    p.add_argument("--sf", type=float, default=0.02)
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

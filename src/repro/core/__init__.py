@@ -1,0 +1,1 @@
+"""The paper's contribution: PVC and QED energy/performance mechanisms."""

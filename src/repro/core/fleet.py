@@ -1,0 +1,166 @@
+"""Global technique: energy-aware placement across a server fleet.
+
+The paper distinguishes *local* techniques (PVC, QED -- this repo's
+focus) from *global* ones: "change the job scheduling method for the
+entire system", "using techniques to turn entire servers off when not
+required" (Secs. 1-2).  This module implements the simplest useful
+global mechanism so the two levels can be studied together:
+
+* ``spread`` placement -- the traditional load balancer: distribute
+  load evenly, keep every server awake.
+* ``consolidate`` placement -- pack load onto as few servers as
+  possible (up to a utilization cap) and put the rest to sleep.
+
+Server power follows the linear utilization model of Fan et al.
+(power provisioning), which the paper cites: idle draw plus a
+load-proportional term up to the busy draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.system import SystemUnderTest
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server's power/capacity envelope."""
+
+    name: str
+    idle_wall_w: float
+    busy_wall_w: float
+    sleep_wall_w: float = 3.5
+    capacity: float = 1.0  # normalized throughput units
+
+    def __post_init__(self) -> None:
+        if self.idle_wall_w < 0 or self.busy_wall_w < self.idle_wall_w:
+            raise ValueError("need 0 <= idle <= busy wall power")
+        if self.sleep_wall_w < 0:
+            raise ValueError("sleep_wall_w must be non-negative")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+    def power_at(self, utilization: float) -> float:
+        """Linear power model: idle + u * (busy - idle)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        return self.idle_wall_w + utilization * (
+            self.busy_wall_w - self.idle_wall_w
+        )
+
+
+def server_from_sut(sut: SystemUnderTest, name: str = "sut",
+                    sleep_wall_w: float = 3.5) -> ServerSpec:
+    """Derive a fleet server from the calibrated machine model."""
+    idle = sut.idle_wall_power_w()
+    # Busy: CPU fully loaded, disk active; reuse the idle DC breakdown
+    # and swap the CPU/disk terms for their busy values.
+    cpu = sut.cpu_for()
+    busy_dc = (
+        sut.idle_dc_power_w()
+        - cpu.idle_power_w() + cpu.busy_power_w(cpu.spec.top_pstate)
+        - sut.disk.spec.idle_power_w + sut.disk.spec.active_power_w
+    )
+    busy = sut.psu.wall_power_w(busy_dc)
+    return ServerSpec(name, idle, busy, sleep_wall_w)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Per-server utilization (servers missing from the map sleep)."""
+
+    utilizations: dict[str, float]
+
+    def awake_servers(self) -> list[str]:
+        return sorted(self.utilizations)
+
+
+class Fleet:
+    """A homogeneous-or-not collection of servers."""
+
+    def __init__(self, servers: list[ServerSpec]):
+        if not servers:
+            raise ValueError("a fleet needs at least one server")
+        names = [s.name for s in servers]
+        if len(set(names)) != len(names):
+            raise ValueError("server names must be unique")
+        self.servers = {s.name: s for s in servers}
+
+    @property
+    def total_capacity(self) -> float:
+        return sum(s.capacity for s in self.servers.values())
+
+    def _check_load(self, load: float) -> None:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        if load > self.total_capacity + 1e-9:
+            raise ValueError(
+                f"load {load} exceeds fleet capacity {self.total_capacity}"
+            )
+
+    # -- placement policies ----------------------------------------------
+
+    def spread(self, load: float) -> Placement:
+        """Balance load evenly across every (awake) server."""
+        self._check_load(load)
+        fraction = load / self.total_capacity
+        return Placement({
+            name: fraction * spec.capacity / spec.capacity
+            for name, spec in self.servers.items()
+        })
+
+    def consolidate(self, load: float,
+                    utilization_cap: float = 0.85) -> Placement:
+        """Pack load onto the fewest servers; the rest sleep.
+
+        Servers are filled in order of energy efficiency at full load
+        (busy watts per capacity unit), each up to ``utilization_cap``
+        -- the paper's "moving to higher utilization can save energy"
+        with headroom for latency.
+        """
+        if not 0.0 < utilization_cap <= 1.0:
+            raise ValueError("utilization_cap must be in (0, 1]")
+        self._check_load(load)
+        if load > self.total_capacity * utilization_cap:
+            # Not enough headroom: fall back to an even spread.
+            return self.spread(load)
+        order = sorted(
+            self.servers.values(),
+            key=lambda s: s.busy_wall_w / s.capacity,
+        )
+        remaining = load
+        utilizations: dict[str, float] = {}
+        for spec in order:
+            if remaining <= 0:
+                break
+            take = min(remaining, spec.capacity * utilization_cap)
+            utilizations[spec.name] = take / spec.capacity
+            remaining -= take
+        return Placement(utilizations)
+
+    # -- energy accounting --------------------------------------------------
+
+    def wall_power_w(self, placement: Placement) -> float:
+        """Instantaneous fleet wall power under a placement."""
+        total = 0.0
+        for name, spec in self.servers.items():
+            if name in placement.utilizations:
+                total += spec.power_at(placement.utilizations[name])
+            else:
+                total += spec.sleep_wall_w
+        return total
+
+    def energy_j(self, placement: Placement, window_s: float) -> float:
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        return self.wall_power_w(placement) * window_s
+
+    def consolidation_saving(self, load: float,
+                             utilization_cap: float = 0.85) -> float:
+        """Fractional power saved by consolidate vs spread at ``load``."""
+        spread_w = self.wall_power_w(self.spread(load))
+        packed_w = self.wall_power_w(
+            self.consolidate(load, utilization_cap)
+        )
+        return 1.0 - packed_w / spread_w if spread_w else 0.0

@@ -1,0 +1,13 @@
+"""PVC: Processor Voltage/frequency Control (paper Section 3)."""
+
+from repro.core.pvc.advisor import OperatingPointAdvisor, Sla
+from repro.core.pvc.controller import PvcController, UnstableSettingError
+from repro.core.pvc.sweep import PvcSweep
+
+__all__ = [
+    "OperatingPointAdvisor",
+    "PvcController",
+    "PvcSweep",
+    "Sla",
+    "UnstableSettingError",
+]

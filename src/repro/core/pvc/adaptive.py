@@ -1,0 +1,121 @@
+"""Mid-flight adaptation: meet a deadline while minimizing energy.
+
+The paper: "It may also be interesting to consider cases where our
+initial prediction for energy consumption are incorrect and then to
+dynamically adapt our query plan midflight to meet our response time
+and energy goals."  This controller adapts the *machine* mid-workload:
+it starts at the most energy-efficient stable setting, measures each
+query as it completes, projects the workload's finish time, and steps
+the PVC setting up (faster) when the deadline is at risk or down
+(cheaper) when there is ample slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cpu import PvcSetting, STOCK_SETTING, VoltageDowngrade
+from repro.hardware.system import RunMeasurement
+from repro.workloads.runner import WorkloadRunner
+
+#: The adaptation ladder, fastest first.  Entry 0 is stock; deeper
+#: entries save more energy at more response time (paper Figs. 1-3).
+DEFAULT_LADDER = [
+    STOCK_SETTING,
+    PvcSetting(5, VoltageDowngrade.SMALL),
+    PvcSetting(5, VoltageDowngrade.MEDIUM),
+]
+
+
+@dataclass
+class AdaptiveOutcome:
+    """A workload run under adaptive control."""
+
+    measurements: list[RunMeasurement]
+    settings_used: list[PvcSetting]
+    deadline_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(m.duration_s for m in self.measurements)
+
+    @property
+    def cpu_joules(self) -> float:
+        return sum(m.cpu_joules for m in self.measurements)
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.total_time_s <= self.deadline_s + 1e-9
+
+    @property
+    def transitions(self) -> int:
+        changes = 0
+        for prev, cur in zip(self.settings_used, self.settings_used[1:]):
+            if prev != cur:
+                changes += 1
+        return changes
+
+
+@dataclass
+class AdaptiveController:
+    """Deadline-aware PVC control over a query workload."""
+
+    runner: WorkloadRunner
+    ladder: list[PvcSetting] = field(
+        default_factory=lambda: list(DEFAULT_LADDER)
+    )
+    #: step down (save more) when projected finish < slack * deadline
+    slack_threshold: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must not be empty")
+        if not 0.0 < self.slack_threshold <= 1.0:
+            raise ValueError("slack_threshold must be in (0, 1]")
+
+    def run(self, queries: list[str], deadline_s: float
+            ) -> AdaptiveOutcome:
+        """Run ``queries`` adapting the setting after each completion."""
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if not queries:
+            raise ValueError("workload must contain at least one query")
+        sut = self.runner.sut
+        level = len(self.ladder) - 1  # start at the cheapest setting
+        elapsed = 0.0
+        measurements: list[RunMeasurement] = []
+        settings_used: list[PvcSetting] = []
+        original = sut.setting
+        try:
+            for index, sql in enumerate(queries):
+                sut.apply_setting(self.ladder[level])
+                settings_used.append(self.ladder[level])
+                execution = self.runner.execute_query(sql, label=f"q{index}")
+                measurement = self.runner.run_trace(execution.trace)
+                measurements.append(measurement)
+                elapsed += measurement.duration_s
+                remaining = len(queries) - index - 1
+                if remaining == 0:
+                    break
+                level = self._adapt(
+                    level, elapsed, measurement.duration_s, remaining,
+                    deadline_s,
+                )
+        finally:
+            sut.apply_setting(original)
+        return AdaptiveOutcome(measurements, settings_used, deadline_s)
+
+    def _adapt(self, level: int, elapsed_s: float, last_query_s: float,
+               remaining: int, deadline_s: float) -> int:
+        """Move along the ladder based on the projected finish time."""
+        projected = elapsed_s + remaining * last_query_s
+        if projected > deadline_s and level > 0:
+            # Behind schedule: speed up one notch (a faster notch also
+            # shortens the projection for the next check).
+            return level - 1
+        if (
+            projected < self.slack_threshold * deadline_s
+            and level < len(self.ladder) - 1
+        ):
+            return level + 1
+        return level

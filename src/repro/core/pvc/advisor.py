@@ -1,0 +1,78 @@
+"""Operating-point advisor: pick a PVC setting under an SLA.
+
+The paper sketches how a Figure-1-style plot is *used*: "a data center
+operating near peak may have no choice but to aim for the fastest query
+response time.  However, when the data center is not operating at peak
+capacity (which is the common case) it may have the option of using an
+operating point that can save energy."  The advisor encodes exactly
+that: given a tradeoff curve and a response-time ceiling, choose the
+lowest-energy point; given a load level, decide whether the ceiling
+applies at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import OperatingPoint, RatioPoint
+from repro.core.tradeoff import TradeoffCurve
+
+
+@dataclass(frozen=True)
+class Sla:
+    """Service-level agreement: tolerated response-time degradation."""
+
+    max_time_increase: float  # e.g. 0.05 allows +5% response time
+
+    def __post_init__(self) -> None:
+        if self.max_time_increase < 0:
+            raise ValueError("max_time_increase must be non-negative")
+
+    @property
+    def max_time_ratio(self) -> float:
+        return 1.0 + self.max_time_increase
+
+    def admits(self, point: RatioPoint) -> bool:
+        return point.time_ratio <= self.max_time_ratio + 1e-12
+
+
+class OperatingPointAdvisor:
+    """Choose operating points from a measured tradeoff curve."""
+
+    def __init__(self, curve: TradeoffCurve):
+        self.curve = curve
+
+    def choose(self, sla: Sla) -> OperatingPoint:
+        """Lowest-energy point whose time ratio satisfies the SLA."""
+        admitted: list[OperatingPoint] = []
+        for point in self.curve.all_points:
+            if sla.admits(point.ratios_vs(self.curve.baseline)):
+                admitted.append(point)
+        if not admitted:
+            # The SLA admits nothing (should not happen: stock is ratio 1).
+            return self.curve.baseline
+        return min(admitted, key=lambda p: p.energy_j)
+
+    def choose_for_load(self, load: float, sla: Sla,
+                        peak_threshold: float = 0.85) -> OperatingPoint:
+        """Load-aware policy: near peak, latency wins; otherwise save energy.
+
+        ``load`` in [0, 1] is the current utilization of the server/data
+        center.  Above ``peak_threshold`` the advisor returns the fastest
+        point; below it, the SLA-constrained energy optimum.
+        """
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        if load >= peak_threshold:
+            return min(self.curve.all_points, key=lambda p: p.time_s)
+        return self.choose(sla)
+
+    def savings_report(self, sla: Sla) -> dict[str, float]:
+        """Summary of what the chosen point saves vs stock."""
+        chosen = self.choose(sla)
+        ratio = chosen.ratios_vs(self.curve.baseline)
+        return {
+            "energy_delta": ratio.energy_delta,
+            "time_delta": ratio.time_delta,
+            "edp_delta": ratio.edp_delta,
+        }

@@ -1,0 +1,73 @@
+"""PVC controller: the software knob over processor voltage/frequency.
+
+The paper's PVC mechanism drives the board's underclocking interface
+(ASUS 6-Engine) from software.  :class:`PvcController` wraps a
+:class:`SystemUnderTest` with apply/reset semantics, a context manager
+for scoped settings, and a validity check mirroring the paper's
+stability monitoring (PC Probe II warned on unstable settings; small and
+medium downgrades ran warning-free).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.hardware.cpu import PvcSetting, STOCK_SETTING, VoltageDowngrade
+from repro.hardware.system import SystemUnderTest
+
+#: Settings the paper validated as stable on the test machine.
+MAX_STABLE_UNDERCLOCK_PCT = 15.0
+STABLE_DOWNGRADES = frozenset(
+    {VoltageDowngrade.NONE, VoltageDowngrade.SMALL, VoltageDowngrade.MEDIUM}
+)
+
+
+class UnstableSettingError(ValueError):
+    """Raised for settings outside the validated stability envelope."""
+
+
+def check_stability(setting: PvcSetting) -> None:
+    """Reject settings the stability monitor would warn about."""
+    if setting.underclock_pct > MAX_STABLE_UNDERCLOCK_PCT:
+        raise UnstableSettingError(
+            f"underclock {setting.underclock_pct}% exceeds the validated "
+            f"{MAX_STABLE_UNDERCLOCK_PCT}% envelope"
+        )
+    if setting.downgrade not in STABLE_DOWNGRADES:
+        raise UnstableSettingError(
+            f"downgrade {setting.downgrade!r} was not validated"
+        )
+
+
+class PvcController:
+    """Apply PVC settings to a system under test."""
+
+    def __init__(self, sut: SystemUnderTest, enforce_stability: bool = True):
+        self.sut = sut
+        self.enforce_stability = enforce_stability
+        self.history: list[PvcSetting] = []
+
+    @property
+    def current(self) -> PvcSetting:
+        return self.sut.setting
+
+    def apply(self, setting: PvcSetting) -> None:
+        if self.enforce_stability:
+            check_stability(setting)
+        self.sut.apply_setting(setting)
+        self.history.append(setting)
+
+    def reset(self) -> None:
+        """Return to stock (the 'traditional operating point')."""
+        self.apply(STOCK_SETTING)
+
+    @contextmanager
+    def applied(self, setting: PvcSetting):
+        """Scoped setting: restores the previous setting afterwards."""
+        previous = self.current
+        self.apply(setting)
+        try:
+            yield self.sut
+        finally:
+            self.sut.apply_setting(previous)
+            self.history.append(previous)

@@ -1,0 +1,35 @@
+"""QED: Query Energy-efficiency by introducing Explicit Delays (Sec. 4)."""
+
+from repro.core.qed.aggregator import (
+    MergedQuery,
+    NotMergeableError,
+    merge_queries,
+)
+from repro.core.qed.analytical import QedModel, expected_or_comparisons
+from repro.core.qed.executor import (
+    BatchedOutcome,
+    QedComparison,
+    QedExecutor,
+    SequentialOutcome,
+)
+from repro.core.qed.policy import BatchPolicy, PAPER_POLICIES
+from repro.core.qed.queue import Batch, QueryQueue
+from repro.core.qed.splitter import SplitOutcome, split_result
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "BatchedOutcome",
+    "MergedQuery",
+    "NotMergeableError",
+    "PAPER_POLICIES",
+    "QedComparison",
+    "QedExecutor",
+    "QedModel",
+    "QueryQueue",
+    "SequentialOutcome",
+    "SplitOutcome",
+    "expected_or_comparisons",
+    "merge_queries",
+    "split_result",
+]

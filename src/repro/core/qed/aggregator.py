@@ -1,0 +1,128 @@
+"""QED multi-query aggregation: merge a batch into one disjunctive query.
+
+The paper: "the select queries in our workload can be merged to a single
+group with a disjunction of the predicates in each query."  The
+aggregator parses each queued query, verifies the batch is structurally
+mergeable (same select list, same table, each WHERE an equality on the
+same column -- or, for the generalized path, any predicate), dedups
+shared disjuncts (overlapping-predicate generalization), and renders the
+merged SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.sql import ast
+from repro.db.sql.parser import parse
+
+
+class NotMergeableError(ValueError):
+    """The batch cannot be evaluated as one aggregated query."""
+
+
+@dataclass(frozen=True)
+class MergedQuery:
+    """The aggregated query plus the routing information for splitting."""
+
+    select: ast.Select
+    #: per original query: its predicate (evaluation order preserved)
+    predicates: tuple[ast.Expr, ...]
+    #: equality routing: column name and per-query literal value, when
+    #: every predicate is ``column = literal`` (the paper's workload)
+    routing_column: str | None = None
+    routing_values: tuple[object, ...] = field(default=())
+
+    @property
+    def sql(self) -> str:
+        return self.select.to_sql()
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.predicates)
+
+    @property
+    def hash_routable(self) -> bool:
+        """True when the splitter can route rows with one hash lookup."""
+        return self.routing_column is not None
+
+
+def _equality_parts(pred: ast.Expr) -> tuple[str, object] | None:
+    """(column, literal value) when ``pred`` is ``col = literal``."""
+    if not isinstance(pred, ast.Comparison) or pred.op != "=":
+        return None
+    left, right = pred.left, pred.right
+    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+        left, right = right, left
+    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+        return left.name, right.value
+    return None
+
+
+def parse_batch(sqls: list[str]) -> list[ast.Select]:
+    return [parse(sql) for sql in sqls]
+
+
+def merge_queries(sqls: list[str]) -> MergedQuery:
+    """Aggregate a batch of selections into one disjunctive query."""
+    if not sqls:
+        raise NotMergeableError("empty batch")
+    selects = parse_batch(sqls)
+    template = selects[0]
+    if template.group_by or template.having or template.order_by \
+            or template.limit is not None or template.distinct:
+        raise NotMergeableError(
+            "only plain select-project queries can be aggregated"
+        )
+    if len(template.tables) != 1:
+        raise NotMergeableError("aggregation needs single-table queries")
+    for select in selects[1:]:
+        if select.items != template.items:
+            raise NotMergeableError("select lists differ across the batch")
+        if select.tables != template.tables:
+            raise NotMergeableError("tables differ across the batch")
+        if (select.group_by or select.having or select.order_by
+                or select.limit is not None or select.distinct):
+            raise NotMergeableError(
+                "only plain select-project queries can be aggregated"
+            )
+    predicates: list[ast.Expr] = []
+    for select in selects:
+        if select.where is None:
+            raise NotMergeableError("a query without WHERE matches all rows")
+        predicates.append(select.where)
+
+    # Dedup shared disjuncts (the overlap generalization): keep the first
+    # occurrence of each structurally-identical predicate.
+    seen: set[ast.Expr] = set()
+    unique: list[ast.Expr] = []
+    for pred in predicates:
+        if pred not in seen:
+            seen.add(pred)
+            unique.append(pred)
+
+    merged_where = ast.or_all(unique)
+    merged = ast.Select(
+        items=template.items,
+        tables=template.tables,
+        where=merged_where,
+    )
+
+    routing_column: str | None = None
+    routing_values: list[object] = []
+    parts = [_equality_parts(p) for p in predicates]
+    if all(p is not None for p in parts):
+        columns = {p[0] for p in parts}  # type: ignore[index]
+        values = [p[1] for p in parts]   # type: ignore[index]
+        # Hash routing needs one owner per value; overlapping batches
+        # (duplicate values) fall back to predicate-based splitting.
+        if len(columns) == 1 and len(set(values)) == len(values):
+            routing_column = columns.pop()
+            routing_values = values
+
+    return MergedQuery(
+        select=merged,
+        predicates=tuple(predicates),
+        routing_column=routing_column,
+        routing_values=tuple(routing_values),
+    )

@@ -1,0 +1,109 @@
+"""Analytical model of QED's response-time behaviour.
+
+The paper: "the response time degradation is most severe for the first
+query in the batch, and least for the last ... the degradation for the
+first query increases as the batch size increases.  A simple analytical
+model can be used to capture these effects in more detail, and can be
+used to consider the impact on SLAs."  This module is that model.
+
+With single-query time ``t_q`` (scan share ``sigma``, per-query result
+share ``1 - sigma``) and a batch of ``N`` non-overlapping selections:
+
+* sequential completion of query *i*:  ``i . t_q``
+* aggregated batch time:  ``T(N) = sigma_N . t_q + N . rho . t_q``
+  where ``sigma_N`` models the merged scan (predicate evaluation grows
+  with the short-circuit expectation) and ``rho`` is the per-query
+  result handling share (transfer + split overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def expected_or_comparisons(batch_size: int, distinct: int) -> float:
+    """Expected short-circuit comparisons per row for an OR chain.
+
+    A row's value is uniform over ``distinct`` values; ``batch_size``
+    disjuncts each match one value.  A row matching disjunct *i* stops
+    after *i* comparisons; a non-matching row pays all of them.
+    """
+    if not 1 <= batch_size <= distinct:
+        raise ValueError("need 1 <= batch_size <= distinct")
+    n, d = batch_size, distinct
+    matching = sum(i for i in range(1, n + 1)) / d   # sum i * P(match i)
+    non_matching = n * (d - n) / d
+    return matching + non_matching
+
+
+@dataclass(frozen=True)
+class QedModel:
+    """Analytical QED model, parameterized by workload shape."""
+
+    scan_share: float = 0.45        # sigma: scan fraction of t_q
+    compare_share: float = 0.12     # single-predicate share of the scan
+    result_share: float = 0.43      # per-query result handling in t_q
+    split_overhead: float = 0.45    # split cost relative to a fetch
+    distinct_values: int = 50
+
+    def __post_init__(self) -> None:
+        total = self.scan_share + self.compare_share + self.result_share
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("shares must sum to 1.0")
+
+    # -- time model ----------------------------------------------------
+
+    def batch_time(self, batch_size: int) -> float:
+        """Aggregated execution time in units of t_q."""
+        cmp = expected_or_comparisons(batch_size, self.distinct_values)
+        scan = self.scan_share + self.compare_share * cmp
+        results = batch_size * self.result_share * (1 + self.split_overhead)
+        return scan + results
+
+    def sequential_completion(self, position: int) -> float:
+        """Completion of the ``position``-th query (1-based), in t_q."""
+        if position < 1:
+            raise ValueError("position is 1-based")
+        return float(position)
+
+    def avg_sequential_response(self, batch_size: int) -> float:
+        return (batch_size + 1) / 2.0
+
+    def response_ratio(self, batch_size: int) -> float:
+        """Average QED response over average sequential response."""
+        return self.batch_time(batch_size) / self.avg_sequential_response(
+            batch_size
+        )
+
+    # -- per-position degradation (the paper's qualitative claims) ------
+
+    def position_degradation(self, batch_size: int,
+                             position: int) -> float:
+        """QED response over sequential completion for one position."""
+        return self.batch_time(batch_size) / self.sequential_completion(
+            position
+        )
+
+    def first_query_degradation(self, batch_size: int) -> float:
+        return self.position_degradation(batch_size, 1)
+
+    def last_query_degradation(self, batch_size: int) -> float:
+        return self.position_degradation(batch_size, batch_size)
+
+    # -- SLA analysis ----------------------------------------------------
+
+    def max_batch_for_sla(self, max_response_tq: float,
+                          max_batch: int | None = None) -> int:
+        """Largest batch whose *first* query still meets the SLA.
+
+        ``max_response_tq`` is the tolerated response time in units of a
+        single query's time.  Returns 0 when even a batch of 1 misses.
+        """
+        limit = max_batch if max_batch is not None else self.distinct_values
+        best = 0
+        for n in range(1, limit + 1):
+            if self.batch_time(n) <= max_response_tq:
+                best = n
+            else:
+                break
+        return best

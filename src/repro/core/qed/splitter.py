@@ -1,0 +1,113 @@
+"""QED result splitting (the paper's client-side "extra work").
+
+After the aggregated query returns, the application must hand each
+original query its own rows.  For the paper's workload -- equality
+predicates on one column -- a hash route (value -> query) handles each
+row in O(1); the general path re-evaluates each query's predicate.
+The split's time and energy are charged to the client, as the paper
+does ("we do this in the application logic and include the time and
+energy cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.qed.aggregator import MergedQuery
+from repro.db.exec.stats import ExprCounters
+from repro.db.expr import Batch, evaluate_predicate
+from repro.db.results import QueryResult
+from repro.db.types import Column, DataType
+
+
+@dataclass
+class SplitOutcome:
+    """Per-query results recovered from the merged result."""
+
+    results: list[QueryResult]
+    rows_routed: int
+    unmatched_rows: int
+
+    @property
+    def per_query_rows(self) -> list[int]:
+        return [r.row_count for r in self.results]
+
+
+def _result_batch(result: QueryResult) -> Batch:
+    return Batch(dict(zip(result.names, result.columns)), result.row_count)
+
+
+def _take(result: QueryResult, indices: np.ndarray) -> QueryResult:
+    return QueryResult(
+        names=list(result.names),
+        columns=[col.take(indices) for col in result.columns],
+    )
+
+
+def split_result(merged: MergedQuery, result: QueryResult) -> SplitOutcome:
+    """Partition the merged result into per-query results."""
+    if merged.hash_routable:
+        return _split_by_hash(merged, result)
+    return _split_by_predicates(merged, result)
+
+
+def _routing_array(result: QueryResult, column: str) -> np.ndarray:
+    col = result.column(column)
+    if col.dtype is DataType.STRING:
+        return col.values()
+    return col.raw()
+
+
+def _split_by_hash(merged: MergedQuery, result: QueryResult
+                   ) -> SplitOutcome:
+    values = _routing_array(result, merged.routing_column)
+    index_of = {v: i for i, v in enumerate(merged.routing_values)}
+    buckets: list[list[int]] = [[] for _ in merged.routing_values]
+    unmatched = 0
+    for row, value in enumerate(values):
+        key = value.item() if isinstance(value, np.generic) else value
+        slot = index_of.get(key)
+        if slot is None:
+            unmatched += 1
+        else:
+            buckets[slot].append(row)
+    results = [
+        _take(result, np.asarray(bucket, dtype=np.int64))
+        for bucket in buckets
+    ]
+    return SplitOutcome(
+        results=results,
+        rows_routed=result.row_count,
+        unmatched_rows=unmatched,
+    )
+
+
+def _split_by_predicates(merged: MergedQuery, result: QueryResult
+                         ) -> SplitOutcome:
+    """General split: each query keeps the rows its predicate accepts.
+
+    With overlapping predicates a row may belong to several queries,
+    matching the semantics of running each query individually.
+    """
+    batch = _result_batch(result)
+    counters = ExprCounters()
+    claimed = np.zeros(result.row_count, dtype=bool)
+    results = []
+    for pred in merged.predicates:
+        mask = evaluate_predicate(pred, batch, counters)
+        claimed |= mask
+        results.append(_take(result, np.flatnonzero(mask)))
+    return SplitOutcome(
+        results=results,
+        rows_routed=result.row_count,
+        unmatched_rows=int((~claimed).sum()),
+    )
+
+
+def split_cost_rows(merged: MergedQuery, result: QueryResult) -> int:
+    """Rows' worth of client split work (hash: one op per merged row)."""
+    if merged.hash_routable:
+        return result.row_count
+    return result.row_count * merged.batch_size

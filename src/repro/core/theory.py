@@ -1,0 +1,77 @@
+"""The paper's theoretical model (Section 3.4).
+
+Circuit power is ``P = C . V^2 . F``.  For a CPU-bound workload, time is
+inversely proportional to frequency, so
+
+    EDP = E . T = P . T^2 = C . V^2 . F . (W/F)^2 / W  ~  V^2 / F.
+
+Figure 4 plots observed EDP against this ``V^2/F`` model and shows they
+track closely; :func:`theoretical_edp_series` regenerates the model side
+for any set of PVC settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import Cpu, CpuSpec, EffectiveVoltageTable, PvcSetting
+
+
+def circuit_power_w(c_eff: float, volts: float, freq_hz: float) -> float:
+    """Dynamic circuit power ``C . V^2 . F``."""
+    if c_eff < 0 or volts < 0 or freq_hz < 0:
+        raise ValueError("model inputs must be non-negative")
+    return c_eff * volts * volts * freq_hz
+
+
+def edp_proportional(volts: float, freq_hz: float) -> float:
+    """The quantity EDP is proportional to for CPU-bound work: V^2/F."""
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return volts * volts / freq_hz
+
+
+def theoretical_edp_ratio(volts: float, freq_hz: float,
+                          volts0: float, freq0_hz: float) -> float:
+    """Model EDP relative to a baseline operating point."""
+    return edp_proportional(volts, freq_hz) / edp_proportional(
+        volts0, freq0_hz
+    )
+
+
+@dataclass(frozen=True)
+class TheoryPoint:
+    """One PVC setting's model quantities."""
+
+    setting: PvcSetting
+    volts: float
+    freq_hz: float
+    edp_ratio: float
+
+
+def theoretical_edp_series(
+    spec: CpuSpec,
+    settings: list[PvcSetting],
+    voltage_table: EffectiveVoltageTable | None = None,
+) -> list[TheoryPoint]:
+    """V^2/F model EDP ratios for ``settings`` (Figure 4's model series).
+
+    Voltage/frequency are taken at the top p-state -- the paper measures
+    both "nearly constant" for the CPU-bound MySQL workload because the
+    memory engine keeps SpeedStep at the top state.
+    """
+    baseline = Cpu(spec, PvcSetting(), voltage_table)
+    v0 = baseline.voltage(spec.top_pstate)
+    f0 = baseline.frequency_hz(spec.top_pstate)
+    points = []
+    for setting in settings:
+        cpu = Cpu(spec, setting, voltage_table)
+        volts = cpu.voltage(spec.top_pstate)
+        freq = cpu.frequency_hz(spec.top_pstate)
+        points.append(TheoryPoint(
+            setting=setting,
+            volts=volts,
+            freq_hz=freq,
+            edp_ratio=theoretical_edp_ratio(volts, freq, v0, f0),
+        ))
+    return points

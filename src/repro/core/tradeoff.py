@@ -1,0 +1,57 @@
+"""Energy/performance tradeoff curves (the paper's Figure 1 object).
+
+A :class:`TradeoffCurve` is a baseline operating point plus alternative
+points (e.g. the PVC settings sweep).  It answers the paper's two
+framing questions: "how does a system generate graphs as in Figure 1?"
+(run the sweep and collect points) and "how can such a graph be used?"
+(rank by EDP, filter by SLA -- see :mod:`repro.core.pvc.advisor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import OperatingPoint, RatioPoint, pareto_front
+
+
+@dataclass
+class TradeoffCurve:
+    baseline: OperatingPoint
+    points: list[OperatingPoint] = field(default_factory=list)
+
+    def add(self, point: OperatingPoint) -> None:
+        self.points.append(point)
+
+    @property
+    def all_points(self) -> list[OperatingPoint]:
+        return [self.baseline, *self.points]
+
+    def ratios(self) -> list[RatioPoint]:
+        """All points (baseline included) normalized to the baseline."""
+        return [p.ratios_vs(self.baseline) for p in self.all_points]
+
+    def ratio_for(self, label: str) -> RatioPoint:
+        for point in self.all_points:
+            if point.label == label:
+                return point.ratios_vs(self.baseline)
+        raise KeyError(f"no operating point labelled {label!r}")
+
+    def best_by_edp(self) -> OperatingPoint:
+        return min(self.all_points, key=lambda p: p.edp)
+
+    def interesting_points(self) -> list[RatioPoint]:
+        """Points below the iso-EDP curve (better EDP than baseline)."""
+        return [
+            r for r in self.ratios()
+            if r.below_iso_edp and r.label != self.baseline.label
+        ]
+
+    def pareto(self) -> list[RatioPoint]:
+        return pareto_front(self.ratios())
+
+    def rows(self) -> list[tuple[str, float, float, float]]:
+        """(label, energy ratio, time ratio, EDP delta) table rows."""
+        return [
+            (r.label, r.energy_ratio, r.time_ratio, r.edp_delta)
+            for r in self.ratios()
+        ]

@@ -1,0 +1,34 @@
+"""Relational engine substrate: SQL, planner, executor, storage."""
+
+from repro.db.engine import Database
+from repro.db.errors import (
+    CatalogError,
+    DatabaseError,
+    ExecutionError,
+    PlanError,
+    SqlSyntaxError,
+    TypeMismatchError,
+)
+from repro.db.profiles import EngineProfile, commercial_profile, mysql_profile
+from repro.db.results import QueryResult
+from repro.db.schema import ColumnDef, Table, TableSchema
+from repro.db.types import Column, DataType
+
+__all__ = [
+    "CatalogError",
+    "Column",
+    "ColumnDef",
+    "Database",
+    "DatabaseError",
+    "DataType",
+    "EngineProfile",
+    "ExecutionError",
+    "PlanError",
+    "QueryResult",
+    "SqlSyntaxError",
+    "Table",
+    "TableSchema",
+    "TypeMismatchError",
+    "commercial_profile",
+    "mysql_profile",
+]

@@ -1,0 +1,60 @@
+"""Turn execution counters into hardware work traces.
+
+This is the contract between the relational engine and the simulated
+machine: counters x engine-profile cycle costs = server CPU cycles, and
+the storage engine's I/O log passes through as disk segments.  Client
+work (result fetch, QED splitting) is added by
+:mod:`repro.workloads.client`, not here.
+"""
+
+from __future__ import annotations
+
+from repro.db.exec.stats import ExecutionStats
+from repro.db.profiles import EngineProfile
+from repro.hardware.trace import CpuWork, DiskAccess, Idle, Trace
+
+#: sequential temp/log writes are issued in runs of this size
+_TEMP_RUN_BYTES = 128 * 1024
+
+
+def server_cycles(profile: EngineProfile, stats: ExecutionStats) -> float:
+    """Total server-side CPU cycles implied by the counters."""
+    scan_rows = sum(
+        op.rows_in for op in stats.operators if op.name.startswith("scan")
+    )
+    return (
+        profile.query_overhead_cycles
+        + scan_rows * profile.cycles_per_row_scan
+        + stats.total_comparisons * profile.cycles_per_comparison
+        + stats.total_arithmetic_ops * profile.cycles_per_arith
+        + stats.total_hash_builds * profile.cycles_per_hash_build
+        + stats.total_hash_probes * profile.cycles_per_hash_probe
+        + stats.total_sort_rows * profile.cycles_per_sort_row
+        + stats.total_group_rows * profile.cycles_per_group_row
+        + stats.output_rows * profile.cycles_per_output_row
+    )
+
+
+def build_trace(profile: EngineProfile, stats: ExecutionStats,
+                label: str = "query") -> Trace:
+    """Work trace for one executed query (server side only)."""
+    trace = Trace()
+    cycles = server_cycles(profile, stats)
+    if cycles > 0:
+        trace.add(CpuWork(cycles, utilization=1.0, label=f"{label}:server"))
+    rows = stats.total_rows_in
+    if profile.temp_write_bytes_per_row and rows:
+        bytes_total = profile.temp_write_bytes_per_row * rows
+        trace.add(DiskAccess(
+            num_ops=max(1, int(bytes_total // _TEMP_RUN_BYTES)),
+            bytes_total=bytes_total,
+            sequential=True,
+            write=True,
+            label=f"{label}:temp",
+        ))
+    for access in stats.io_log:
+        trace.add(access)
+    if profile.stall_ns_per_row and rows:
+        trace.add(Idle(rows * profile.stall_ns_per_row * 1e-9,
+                       label=f"{label}:stall"))
+    return trace

@@ -1,0 +1,153 @@
+"""The :class:`Database` facade: tables in, SQL in, results + traces out.
+
+A database is configured with an :class:`~repro.db.profiles.EngineProfile`
+(commercial disk engine or MySQL memory engine).  ``execute`` runs a
+query for real -- parse, bind, optimize, execute over numpy columns --
+and returns a :class:`QueryResult` whose counters feed
+:func:`repro.db.cost_model.build_trace` to produce the hardware work
+trace for the energy simulation.
+"""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog
+from repro.db.cost_model import build_trace, server_cycles
+from repro.db.errors import PlanError
+from repro.db.exec.executor import run_plan
+from repro.db.plan.optimizer import plan_query
+from repro.db.plan.physical import PhysNode, format_plan
+from repro.db.profiles import EngineProfile, mysql_profile
+from repro.db.results import QueryResult
+from repro.db.schema import Table, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.parser import parse
+from repro.db.storage.buffer import BufferPool
+from repro.db.storage.engines import DiskEngine, MemoryEngine, StorageEngine
+from repro.hardware.trace import Trace
+
+
+class Database:
+    """An embedded database instance over one storage engine."""
+
+    def __init__(self, profile: EngineProfile | None = None):
+        self.profile = profile if profile is not None else mysql_profile()
+        self.catalog = Catalog()
+        self.storage: StorageEngine
+        if self.profile.storage == "disk":
+            self.buffer_pool = BufferPool(self.profile.buffer_pool_bytes)
+            self.storage = DiskEngine(self.buffer_pool)
+        elif self.profile.storage == "memory":
+            self.buffer_pool = None
+            self.storage = MemoryEngine()
+        else:
+            raise PlanError(
+                f"unknown storage engine {self.profile.storage!r}"
+            )
+
+    # -- DDL / loading ---------------------------------------------------
+
+    def create_table(self, schema: TableSchema,
+                     data: dict[str, object]) -> Table:
+        """Create and load a table from column arrays/sequences."""
+        table = Table.from_arrays(schema, data)
+        self.catalog.register(table)
+        return table
+
+    def register_table(self, table: Table) -> None:
+        self.catalog.register(table)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+        if self.buffer_pool is not None:
+            self.buffer_pool.evict_table(name)
+
+    # -- buffer management (warm/cold experiments) -----------------------
+
+    def warm(self, *table_names: str) -> None:
+        """Preload tables into the buffer pool (no-op on memory engine)."""
+        if not isinstance(self.storage, DiskEngine):
+            return
+        names = table_names or tuple(self.catalog.table_names)
+        for name in names:
+            self.storage.warm(self.catalog.table(name))
+
+    def cool(self) -> None:
+        """Empty the buffer pool (the paper's reboot before cold runs)."""
+        if self.buffer_pool is not None:
+            self.buffer_pool.clear()
+
+    # -- querying ---------------------------------------------------------
+
+    def _to_select(self, query: str | ast.Select) -> ast.Select:
+        if isinstance(query, ast.Select):
+            return query
+        return parse(query)
+
+    def plan(self, query: str | ast.Select) -> PhysNode:
+        return plan_query(self._to_select(query), self.catalog)
+
+    def explain(self, query: str | ast.Select,
+                with_costs: bool = False, sut=None) -> str:
+        """Plan tree; with ``with_costs``, append per-node (time, energy)
+        estimates from the energy-aware coster."""
+        plan = self.plan(query)
+        if not with_costs:
+            return format_plan(plan)
+
+        from repro.db.plan.costing import PlanCoster
+        from repro.hardware.profiles import paper_sut
+
+        coster = PlanCoster(self.profile,
+                            sut if sut is not None else paper_sut())
+
+        def annotate(node, indent=0):
+            estimate = coster.cost(node, include_overhead=(indent == 0))
+            line = (
+                "  " * indent
+                + f"{node.describe()}  [rows~{node.est_rows:.0f}"
+                f"  t~{estimate.time_s:.4f}s  e~{estimate.energy_j:.3f}J]"
+            )
+            lines = [line]
+            for child in node.children():
+                lines.extend(annotate(child, indent + 1))
+            return lines
+
+        return "\n".join(annotate(plan))
+
+    def execute(self, query: str | ast.Select) -> QueryResult:
+        plan = self.plan(query)
+        return run_plan(
+            plan, self.catalog, self.storage, self.profile.work_mem_bytes
+        )
+
+    # -- energy-aware plan costing ------------------------------------------
+
+    def estimate_cost(self, query: str | ast.Select, sut=None):
+        """Pre-execution (time, energy) estimate for a query's plan.
+
+        ``sut`` defaults to the calibrated paper machine.  Returns
+        ``(plan, CostEstimate)``; rank objectives by calling
+        ``estimate.weighted(w_time, w_energy)`` (see
+        :class:`repro.db.plan.cost.CostWeights`).
+        """
+        from repro.db.plan.costing import PlanCoster
+        from repro.hardware.profiles import paper_sut
+
+        plan = self.plan(query)
+        machine = sut if sut is not None else paper_sut()
+        coster = PlanCoster(self.profile, machine)
+        return plan, coster.cost(plan)
+
+    # -- energy/time accounting -------------------------------------------
+
+    def trace_for(self, result: QueryResult, label: str = "query") -> Trace:
+        """Hardware work trace for an executed query (server side)."""
+        return build_trace(self.profile, result.stats, label=label)
+
+    def server_cycles_for(self, result: QueryResult) -> float:
+        return server_cycles(self.profile, result.stats)
+
+    @property
+    def workload_class(self) -> str:
+        """Which calibrated voltage table applies to this engine's runs."""
+        return self.profile.workload_class

@@ -1,0 +1,33 @@
+"""Database error hierarchy."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all database errors."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """Raised by the lexer/parser on malformed SQL."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CatalogError(DatabaseError):
+    """Unknown table/column, duplicate definitions, etc."""
+
+
+class PlanError(DatabaseError):
+    """Raised when a query cannot be planned (unsupported shape)."""
+
+
+class ExecutionError(DatabaseError):
+    """Raised during query execution."""
+
+
+class TypeMismatchError(DatabaseError):
+    """Incompatible operand types in an expression."""

@@ -1,0 +1,1 @@
+"""Execution: vectorized operators and counters."""

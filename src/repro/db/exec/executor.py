@@ -1,0 +1,33 @@
+"""Top-level execution: plan tree -> QueryResult."""
+
+from __future__ import annotations
+
+from repro.db.catalog import Catalog
+from repro.db.exec.operators import ExecutionContext, execute_plan
+from repro.db.exec.stats import ExecutionStats
+from repro.db.plan.physical import PhysNode
+from repro.db.results import QueryResult
+from repro.db.storage.engines import StorageEngine
+
+
+def run_plan(
+    plan: PhysNode,
+    catalog: Catalog,
+    storage: StorageEngine,
+    work_mem_bytes: int,
+) -> QueryResult:
+    """Execute a physical plan, returning a result with work counters."""
+    stats = ExecutionStats()
+    ctx = ExecutionContext(
+        catalog=catalog,
+        storage=storage,
+        stats=stats,
+        work_mem_bytes=work_mem_bytes,
+    )
+    batch = execute_plan(plan, ctx)
+    names = list(batch.columns.keys())
+    columns = [batch.columns[name] for name in names]
+    result = QueryResult(names=names, columns=columns, stats=stats)
+    stats.output_rows = result.row_count
+    stats.output_bytes = result.size_bytes
+    return result

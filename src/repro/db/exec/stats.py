@@ -1,0 +1,110 @@
+"""Execution counters: the work a query actually performed.
+
+Counters are the bridge between the relational engine and the hardware
+simulator -- :mod:`repro.db.cost_model` turns them into CPU cycles, and
+the storage engines contribute page-level I/O.  Every operator updates a
+shared :class:`ExecutionStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.trace import DiskAccess
+
+
+@dataclass
+class ExprCounters:
+    """Work performed while evaluating expressions.
+
+    ``comparisons`` honours short-circuit semantics: in an OR chain a row
+    stops evaluating at its first matching disjunct, so the count is the
+    sum over rows of the first-true position -- this is what makes QED's
+    merged-predicate scan cost grow sub-linearly with batch size.
+    """
+
+    comparisons: int = 0
+    arithmetic_ops: int = 0
+
+    def merge(self, other: "ExprCounters") -> None:
+        self.comparisons += other.comparisons
+        self.arithmetic_ops += other.arithmetic_ops
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator counters."""
+
+    name: str
+    rows_in: int = 0
+    rows_out: int = 0
+    comparisons: int = 0
+    arithmetic_ops: int = 0
+    hash_builds: int = 0
+    hash_probes: int = 0
+    sort_rows: int = 0
+    group_rows: int = 0
+
+    def absorb_expr(self, counters: ExprCounters) -> None:
+        self.comparisons += counters.comparisons
+        self.arithmetic_ops += counters.arithmetic_ops
+
+
+@dataclass
+class ExecutionStats:
+    """Whole-query counters plus the storage I/O log."""
+
+    operators: list[OperatorStats] = field(default_factory=list)
+    io_log: list[DiskAccess] = field(default_factory=list)
+    output_rows: int = 0
+    output_bytes: int = 0
+
+    def new_operator(self, name: str) -> OperatorStats:
+        stats = OperatorStats(name)
+        self.operators.append(stats)
+        return stats
+
+    def record_io(self, access: DiskAccess) -> None:
+        self.io_log.append(access)
+
+    # -- totals ---------------------------------------------------------
+
+    @property
+    def total_rows_scanned(self) -> int:
+        return sum(
+            op.rows_in for op in self.operators if op.name.startswith("scan")
+        )
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(op.comparisons for op in self.operators)
+
+    @property
+    def total_arithmetic_ops(self) -> int:
+        return sum(op.arithmetic_ops for op in self.operators)
+
+    @property
+    def total_hash_builds(self) -> int:
+        return sum(op.hash_builds for op in self.operators)
+
+    @property
+    def total_hash_probes(self) -> int:
+        return sum(op.hash_probes for op in self.operators)
+
+    @property
+    def total_sort_rows(self) -> int:
+        return sum(op.sort_rows for op in self.operators)
+
+    @property
+    def total_group_rows(self) -> int:
+        return sum(op.group_rows for op in self.operators)
+
+    @property
+    def total_rows_in(self) -> int:
+        return sum(op.rows_in for op in self.operators)
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.operators.extend(other.operators)
+        self.io_log.extend(other.io_log)
+        self.output_rows += other.output_rows
+        self.output_bytes += other.output_bytes

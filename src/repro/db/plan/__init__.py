@@ -1,0 +1,1 @@
+"""Planning: binding, cost estimation, optimizer, physical plans."""

@@ -1,0 +1,147 @@
+"""Cardinality and time/energy cost estimation.
+
+Cardinality estimation is classical (uniformity + independence), feeding
+the greedy join-order search.  On top of it sits the *energy-aware* cost
+model the paper calls for ("considering energy consumption as a
+first-class metric ... when planning queries"): each plan gets an
+estimated (time, energy) pair from the engine profile's cycle constants
+and the system's busy/idle powers, and plans are ranked by
+``w_time * time + w_energy * energy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.catalog import Catalog, TableStats
+from repro.db.sql import ast
+from repro.db.types import date_to_days
+
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def _literal_value(expr: ast.Expr) -> float | None:
+    if isinstance(expr, ast.Literal) and not isinstance(expr.value, str):
+        return float(expr.value)
+    if isinstance(expr, ast.DateLiteral):
+        return float(date_to_days(expr.iso))
+    if isinstance(expr, ast.Negate):
+        inner = _literal_value(expr.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def estimate_selectivity(pred: ast.Expr, stats: TableStats) -> float:
+    """Fraction of rows passing ``pred`` (single-table predicate)."""
+    if isinstance(pred, ast.And):
+        return (
+            estimate_selectivity(pred.left, stats)
+            * estimate_selectivity(pred.right, stats)
+        )
+    if isinstance(pred, ast.Or):
+        s1 = estimate_selectivity(pred.left, stats)
+        s2 = estimate_selectivity(pred.right, stats)
+        return min(1.0, s1 + s2 - s1 * s2)
+    if isinstance(pred, ast.Not):
+        return 1.0 - estimate_selectivity(pred.operand, stats)
+    if isinstance(pred, ast.Comparison):
+        return _comparison_selectivity(pred, stats)
+    if isinstance(pred, ast.Between):
+        if isinstance(pred.operand, ast.ColumnRef):
+            col = stats.columns.get(pred.operand.name)
+            low = _literal_value(pred.low)
+            high = _literal_value(pred.high)
+            if col is not None:
+                return col.selectivity_range(low, high)
+        return DEFAULT_SELECTIVITY
+    if isinstance(pred, ast.InList):
+        if isinstance(pred.operand, ast.ColumnRef):
+            col = stats.columns.get(pred.operand.name)
+            if col is not None:
+                return min(1.0, len(pred.items) * col.selectivity_eq())
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(pred: ast.Comparison,
+                            stats: TableStats) -> float:
+    column = None
+    literal = None
+    flipped = False
+    if isinstance(pred.left, ast.ColumnRef):
+        column = stats.columns.get(pred.left.name)
+        literal = _literal_value(pred.right)
+    elif isinstance(pred.right, ast.ColumnRef):
+        column = stats.columns.get(pred.right.name)
+        literal = _literal_value(pred.left)
+        flipped = True
+    if column is None:
+        return DEFAULT_SELECTIVITY
+    if pred.op == "=":
+        return column.selectivity_eq()
+    if pred.op == "<>":
+        return 1.0 - column.selectivity_eq()
+    if literal is None:
+        return DEFAULT_SELECTIVITY
+    op = pred.op
+    if flipped:
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    if op in ("<", "<="):
+        return column.selectivity_range(None, literal)
+    return column.selectivity_range(literal, None)
+
+
+def estimate_join_rows(left_rows: float, right_rows: float,
+                       left_distinct: int, right_distinct: int) -> float:
+    """Classic equi-join estimate: |L||R| / max(V(L,k), V(R,k))."""
+    denom = max(1, left_distinct, right_distinct)
+    return left_rows * right_rows / denom
+
+
+def column_distinct(catalog: Catalog, table: str, column: str) -> int:
+    stats = catalog.stats(table)
+    col = stats.columns.get(column)
+    return col.distinct if col is not None else max(1, stats.row_count)
+
+
+# --------------------------------------------------------------------------
+# Time/energy plan costing (the energy-aware optimizer extension).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated resources for a plan (or sub-plan)."""
+
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return self.time_s * self.energy_j
+
+    def __add__(self, other: "CostEstimate") -> "CostEstimate":
+        return CostEstimate(
+            self.time_s + other.time_s, self.energy_j + other.energy_j
+        )
+
+    def weighted(self, w_time: float, w_energy: float) -> float:
+        return w_time * self.time_s + w_energy * self.energy_j
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Objective weights: pure-time (classic), pure-energy, or blended."""
+
+    w_time: float = 1.0
+    w_energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.w_time < 0 or self.w_energy < 0:
+            raise ValueError("weights must be non-negative")
+        if self.w_time == 0 and self.w_energy == 0:
+            raise ValueError("at least one weight must be positive")
+
+
+TIME_OPTIMAL = CostWeights(1.0, 0.0)
+ENERGY_OPTIMAL = CostWeights(0.0, 1.0)
+EDP_BALANCED = CostWeights(0.5, 0.5)

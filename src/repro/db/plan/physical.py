@@ -1,0 +1,172 @@
+"""Physical plan nodes.
+
+A physical plan is a tree of dataclass nodes; :mod:`repro.db.exec.operators`
+interprets it.  ``est_rows`` carries the optimizer's cardinality estimate
+for costing and EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.sql import ast
+
+
+class PhysNode:
+    """Base class for physical plan nodes."""
+
+    est_rows: float
+
+    def children(self) -> list["PhysNode"]:
+        return []
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class PhysScan(PhysNode):
+    table_name: str
+    binding: str
+    predicate: ast.Expr | None
+    est_rows: float = 0.0
+    #: column pruning: only these columns survive into the pipeline
+    #: (None = all).  Page I/O is unaffected -- a row store reads whole
+    #: pages -- but CPU-side batch width and spill volume shrink.
+    columns: frozenset[str] | None = None
+
+    def describe(self) -> str:
+        pred = f" filter: {self.predicate.to_sql()}" if self.predicate else ""
+        name = self.table_name
+        if self.binding != self.table_name:
+            name = f"{self.table_name} as {self.binding}"
+        return f"SeqScan({name}){pred}"
+
+
+@dataclass
+class PhysHashJoin(PhysNode):
+    build: PhysNode
+    probe: PhysNode
+    build_key: ast.ColumnRef
+    probe_key: ast.ColumnRef
+    #: extra equality predicates applicable once both sides are joined
+    post_predicates: list[ast.Expr] = field(default_factory=list)
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.build, self.probe]
+
+    def describe(self) -> str:
+        extra = ""
+        if self.post_predicates:
+            extra = " and " + " and ".join(
+                p.to_sql() for p in self.post_predicates
+            )
+        return (
+            f"HashJoin({self.build_key.to_sql()} = "
+            f"{self.probe_key.to_sql()}{extra})"
+        )
+
+
+@dataclass
+class PhysFilter(PhysNode):
+    child: PhysNode
+    predicate: ast.Expr
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate computation: func over an argument expression."""
+
+    func: str                 # sum/count/avg/min/max
+    arg: ast.Expr | None      # None for COUNT(*)
+    output: str               # internal column name (__agg{i})
+    distinct: bool = False    # COUNT(DISTINCT arg)
+
+
+@dataclass
+class PhysAggregate(PhysNode):
+    child: PhysNode
+    group_exprs: list[ast.Expr]        # keyed as __grp{i}
+    aggregates: list[AggregateSpec]
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        groups = ", ".join(e.to_sql() for e in self.group_exprs) or "<all>"
+        aggs = ", ".join(
+            f"{a.func.upper()}({'*' if a.arg is None else a.arg.to_sql()})"
+            for a in self.aggregates
+        )
+        return f"Aggregate(group by {groups}; {aggs})"
+
+
+@dataclass
+class PhysProject(PhysNode):
+    child: PhysNode
+    items: list[ast.SelectItem]
+    #: when projecting over an aggregate, expressions have had their
+    #: aggregate/group sub-terms replaced by __agg{i}/__grp{i} refs.
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(i.to_sql() for i in self.items) + ")"
+
+
+@dataclass
+class PhysDistinct(PhysNode):
+    child: PhysNode
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class PhysSort(PhysNode):
+    child: PhysNode
+    keys: list[ast.OrderItem]
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Sort(" + ", ".join(k.to_sql() for k in self.keys) + ")"
+
+
+@dataclass
+class PhysLimit(PhysNode):
+    child: PhysNode
+    limit: int
+    est_rows: float = 0.0
+
+    def children(self) -> list[PhysNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"
+
+
+def format_plan(node: PhysNode, indent: int = 0) -> str:
+    """Pretty-print a plan tree (EXPLAIN output)."""
+    line = "  " * indent + f"{node.describe()}  [rows~{node.est_rows:.0f}]"
+    lines = [line]
+    for child in node.children():
+        lines.append(format_plan(child, indent + 1))
+    return "\n".join(lines)

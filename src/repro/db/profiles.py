@@ -1,0 +1,130 @@
+"""Engine profiles: the two DBMSs the paper measures.
+
+A profile bundles the storage engine choice with per-operation CPU cycle
+costs -- the knobs that turn execution counters into simulated work.
+
+* :func:`commercial_profile` models the commercial DBMS: disk-based row
+  store with a buffer pool, a leaner executor (lower per-row costs), and
+  hash joins/sorts that spill temp runs when their inputs exceed
+  ``work_mem``.  Spill traffic is what keeps the disk busy on *warm*
+  runs (paper Sec. 3.5 observes exactly that), producing the ~60/40
+  CPU/disk wall-time split behind the commercial workload's +3% PVC
+  time penalty.
+* :func:`mysql_profile` models MySQL 5.1 with the MEMORY storage engine
+  ("to stress the CPU"): no disk at all, heavier per-row interpretation
+  costs.  Runs are fully CPU-bound, giving the 1/(1-u) PVC time scaling.
+
+Cycle constants are calibrated so a ten-query TPC-H Q5 workload at the
+paper's scale factors lands on the paper's absolute magnitudes (48.5 s /
+1228.7 J for the commercial stock run).  ``work_mem`` and the buffer
+pool scale with the data (pass ``scale_factor``) so the *fractions* --
+and therefore every ratio the paper reports -- are scale-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.system import CPU_BOUND, IO_MIXED
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Cost/configuration profile of a DBMS engine."""
+
+    name: str
+    storage: str                 # 'memory' or 'disk'
+    workload_class: str          # hardware voltage-table selector
+    cycles_per_row_scan: float
+    cycles_per_comparison: float
+    cycles_per_arith: float
+    cycles_per_hash_build: float
+    cycles_per_hash_probe: float
+    cycles_per_sort_row: float
+    cycles_per_group_row: float
+    cycles_per_output_row: float
+    query_overhead_cycles: float
+    work_mem_bytes: int
+    buffer_pool_bytes: int
+    #: frequency-invariant stall time (lock/latch/sync waits, non-
+    #: overlapped prefetch) per row flowing through the executor.  This
+    #: is the non-scalable wall-time share behind the commercial
+    #: workload's +3% (not +5%) PVC time penalty.
+    stall_ns_per_row: float = 0.0
+    #: temp/log write volume per row processed (warm-run disk activity
+    #: the paper observes in Sec. 3.5).
+    temp_write_bytes_per_row: float = 0.0
+
+    def scaled_memory(self, scale_factor: float) -> "EngineProfile":
+        """Scale memory limits with the data size (ratio invariance)."""
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        return replace(
+            self,
+            work_mem_bytes=max(1, int(self.work_mem_bytes * scale_factor)),
+            buffer_pool_bytes=max(
+                1, int(self.buffer_pool_bytes * scale_factor)
+            ),
+        )
+
+
+def commercial_profile(scale_factor: float = 1.0) -> EngineProfile:
+    """The commercial DBMS: disk row store, leaner executor, spills."""
+    base = EngineProfile(
+        name="commercial",
+        storage="disk",
+        workload_class=IO_MIXED,
+        cycles_per_row_scan=519.0,
+        cycles_per_comparison=126.0,
+        cycles_per_arith=81.0,
+        cycles_per_hash_build=587.0,
+        cycles_per_hash_probe=451.0,
+        cycles_per_sort_row=181.0,
+        cycles_per_group_row=415.0,
+        cycles_per_output_row=813.0,
+        query_overhead_cycles=9e6,
+        work_mem_bytes=192 * 1024 * 1024,        # at SF 1.0
+        buffer_pool_bytes=1536 * 1024 * 1024,    # holds the SF 1.0 database
+        stall_ns_per_row=90.0,
+        temp_write_bytes_per_row=2.2,
+    )
+    return base.scaled_memory(scale_factor)
+
+
+def mysql_profile(scale_factor: float = 1.0) -> EngineProfile:
+    """MySQL 5.1 with the MEMORY engine: CPU-bound interpretation."""
+    base = EngineProfile(
+        name="mysql",
+        storage="memory",
+        workload_class=CPU_BOUND,
+        cycles_per_row_scan=920.0,
+        cycles_per_comparison=800.0,
+        cycles_per_arith=150.0,
+        cycles_per_hash_build=1000.0,
+        cycles_per_hash_probe=800.0,
+        cycles_per_sort_row=300.0,
+        cycles_per_group_row=700.0,
+        cycles_per_output_row=1450.0,
+        query_overhead_cycles=2e7,
+        work_mem_bytes=64 * 1024 * 1024,
+        buffer_pool_bytes=0,
+    )
+    # Memory limits are irrelevant for the memory engine, but keep the
+    # scaling hook uniform for callers.
+    return base.scaled_memory(scale_factor) if scale_factor != 1.0 else base
+
+
+PROFILES = {
+    "commercial": commercial_profile,
+    "mysql": mysql_profile,
+}
+
+
+def profile_by_name(name: str, scale_factor: float = 1.0) -> EngineProfile:
+    try:
+        factory = PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine profile {name!r}; options: {sorted(PROFILES)}"
+        ) from None
+    return factory(scale_factor)

@@ -1,0 +1,66 @@
+"""Query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.exec.stats import ExecutionStats
+from repro.db.types import Column, DataType
+
+
+@dataclass
+class QueryResult:
+    """Columnar result of one query execution.
+
+    ``stats`` holds the work counters the energy model consumes;
+    ``size_bytes`` approximates the wire size the client must fetch.
+    """
+
+    names: list[str]
+    columns: list[Column]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.columns):
+            raise ValueError("names/columns length mismatch")
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def column_count(self) -> int:
+        return len(self.columns)
+
+    @property
+    def size_bytes(self) -> int:
+        width = sum(col.width_bytes for col in self.columns)
+        return self.row_count * width
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise KeyError(f"no result column {name!r}") from None
+
+    def rows(self) -> list[tuple]:
+        """Materialize decoded rows (client-side view)."""
+        decoded = []
+        for col in self.columns:
+            if col.dtype is DataType.STRING:
+                lookup = col.dictionary or []
+                decoded.append([lookup[c] for c in col.data])
+            elif col.dtype is DataType.DATE:
+                decoded.append(list(col.values()))
+            else:
+                decoded.append([v.item() for v in col.data])
+        return list(zip(*decoded)) if decoded else []
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if self.row_count != 1 or self.column_count != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{self.row_count}x{self.column_count}"
+            )
+        return self.rows()[0][0]

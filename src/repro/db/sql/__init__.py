@@ -1,0 +1,1 @@
+"""SQL front end: lexer, parser, AST."""

@@ -1,0 +1,1 @@
+"""Storage: pages, buffer pool, memory/disk engines."""

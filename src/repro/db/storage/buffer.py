@@ -1,0 +1,75 @@
+"""LRU buffer pool.
+
+The pool decides which table pages are memory-resident: a warm scan hits
+entirely in the pool while a cold scan misses everywhere and pays disk
+time -- the difference behind the paper's Sec. 3.5 warm/cold comparison
+(48.5 s / 1228.7 J CPU warm versus 156 s / 2146 J CPU cold).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.db.storage.pages import PAGE_SIZE_BYTES
+
+
+class BufferPool:
+    """Page-granular LRU cache."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_pages = capacity_bytes // PAGE_SIZE_BYTES
+        self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_pages * PAGE_SIZE_BYTES
+
+    def access(self, key: tuple[str, int]) -> bool:
+        """Touch a page; returns True on hit, False on miss (page loaded)."""
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._admit(key)
+        return False
+
+    def contains(self, key: tuple[str, int]) -> bool:
+        return key in self._pages
+
+    def _admit(self, key: tuple[str, int]) -> None:
+        if self.capacity_pages == 0:
+            return
+        while len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+        self._pages[key] = None
+
+    def evict_table(self, table: str) -> int:
+        """Drop every page of ``table``; returns the number dropped."""
+        victims = [k for k in self._pages if k[0] == table]
+        for key in victims:
+            del self._pages[key]
+        return len(victims)
+
+    def clear(self) -> None:
+        """Cold-start the pool (the paper's reboot before the cold run)."""
+        self._pages.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,170 @@
+"""Column data types and value handling.
+
+Columns are numpy-backed:
+
+* ``INT64``/``FLOAT64`` map directly to numpy dtypes.
+* ``DATE`` is stored as int32 days since 1970-01-01 (``date_to_days``).
+* ``STRING`` is dictionary-encoded: an int32 code array plus a list of
+  distinct values, which makes equality predicates and group-bys cheap
+  (compare codes) and keeps memory compact for TPC-H's low-cardinality
+  string columns (region names, flags).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+
+import numpy as np
+
+from repro.db.errors import TypeMismatchError
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+class DataType(enum.Enum):
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def width_bytes(self) -> int:
+        """Approximate on-disk width, used for page-count estimation."""
+        return {
+            DataType.INT64: 8,
+            DataType.FLOAT64: 8,
+            DataType.STRING: 16,
+            DataType.DATE: 4,
+        }[self]
+
+
+def date_to_days(value: str | datetime.date) -> int:
+    """Convert a date (or 'YYYY-MM-DD' string) to days since epoch."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+class Column:
+    """A typed column of values.
+
+    For STRING columns, ``data`` holds int32 dictionary codes and
+    ``dictionary`` the distinct values (code -> value).  For all other
+    types ``data`` holds the values directly.
+    """
+
+    __slots__ = ("dtype", "data", "dictionary", "_index")
+
+    def __init__(self, dtype: DataType, data: np.ndarray,
+                 dictionary: list[str] | None = None):
+        self.dtype = dtype
+        self.data = data
+        self.dictionary = dictionary
+        self._index: dict[str, int] | None = None
+        if dtype is DataType.STRING and dictionary is None:
+            raise TypeMismatchError("STRING columns need a dictionary")
+        if dtype is not DataType.STRING and dictionary is not None:
+            raise TypeMismatchError("only STRING columns carry a dictionary")
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_values(cls, dtype: DataType, values) -> "Column":
+        """Build a column from a plain Python sequence."""
+        if dtype is DataType.INT64:
+            return cls(dtype, np.asarray(values, dtype=np.int64))
+        if dtype is DataType.FLOAT64:
+            return cls(dtype, np.asarray(values, dtype=np.float64))
+        if dtype is DataType.DATE:
+            days = [
+                v if isinstance(v, (int, np.integer)) else date_to_days(v)
+                for v in values
+            ]
+            return cls(dtype, np.asarray(days, dtype=np.int32))
+        if dtype is DataType.STRING:
+            dictionary: list[str] = []
+            index: dict[str, int] = {}
+            codes = np.empty(len(values), dtype=np.int32)
+            for i, v in enumerate(values):
+                code = index.get(v)
+                if code is None:
+                    code = len(dictionary)
+                    index[v] = code
+                    dictionary.append(v)
+                codes[i] = code
+            col = cls(dtype, codes, dictionary)
+            col._index = index
+            return col
+        raise TypeMismatchError(f"unsupported dtype {dtype}")
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray,
+                   dictionary: list[str]) -> "Column":
+        return cls(DataType.STRING, np.asarray(codes, dtype=np.int32),
+                   dictionary)
+
+    # -- basics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Select rows by position (shares the dictionary)."""
+        col = Column(self.dtype, self.data[indices], self.dictionary)
+        col._index = self._index
+        return col
+
+    def code_for(self, value: str) -> int:
+        """Dictionary code for ``value`` (-1 if absent, matching nothing)."""
+        if self.dtype is not DataType.STRING:
+            raise TypeMismatchError("code_for only applies to STRING columns")
+        if self._index is None:
+            self._index = {v: i for i, v in enumerate(self.dictionary)}
+        return self._index.get(value, -1)
+
+    def values(self) -> np.ndarray:
+        """Decoded values (object array for strings, dates as date objects)."""
+        if self.dtype is DataType.STRING:
+            lookup = np.asarray(self.dictionary, dtype=object)
+            return lookup[self.data]
+        if self.dtype is DataType.DATE:
+            return np.asarray(
+                [days_to_date(d) for d in self.data], dtype=object
+            )
+        return self.data
+
+    def raw(self) -> np.ndarray:
+        """The underlying numeric array (codes for strings, days for dates)."""
+        return self.data
+
+    @property
+    def width_bytes(self) -> int:
+        return self.dtype.width_bytes
+
+
+def literal_to_comparable(column: Column, value) -> float | int:
+    """Convert a literal to the column's raw comparison domain."""
+    if column.dtype is DataType.STRING:
+        if not isinstance(value, str):
+            raise TypeMismatchError(
+                f"cannot compare STRING column to {type(value).__name__}"
+            )
+        return column.code_for(value)
+    if column.dtype is DataType.DATE:
+        if isinstance(value, str):
+            return date_to_days(value)
+        if isinstance(value, datetime.date):
+            return date_to_days(value)
+        return int(value)
+    if isinstance(value, bool):
+        raise TypeMismatchError("boolean literals are not comparable")
+    if not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeMismatchError(
+            f"cannot compare numeric column to {type(value).__name__}"
+        )
+    return value

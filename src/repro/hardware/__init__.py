@@ -1,0 +1,75 @@
+"""Simulated server hardware: CPU, DVFS, memory, disk, PSU, sensors."""
+
+from repro.hardware.cpu import (
+    Cpu,
+    CpuSpec,
+    EffectiveVoltageTable,
+    PState,
+    PvcSetting,
+    STOCK_SETTING,
+    VoltageDowngrade,
+    e8500_like_spec,
+)
+from repro.hardware.disk import Disk, DiskEnergy, DiskSpec
+from repro.hardware.dvfs import (
+    CappedGovernor,
+    Governor,
+    UtilizationGovernor,
+    frequency_steps_hz,
+)
+from repro.hardware.memory import Memory, MemorySpec
+from repro.hardware.profiles import (
+    build_voltage_table,
+    default_system,
+    paper_sut,
+    pvc_settings_grid,
+)
+from repro.hardware.psu import Psu, PsuSpec
+from repro.hardware.sensors import CurrentProbe, EpuSensor, WallMeter
+from repro.hardware.system import (
+    CPU_BOUND,
+    IO_MIXED,
+    PowerInterval,
+    RunMeasurement,
+    SystemUnderTest,
+)
+from repro.hardware.trace import ClientWork, CpuWork, DiskAccess, Idle, Trace
+
+__all__ = [
+    "CPU_BOUND",
+    "CappedGovernor",
+    "ClientWork",
+    "Cpu",
+    "CpuSpec",
+    "CpuWork",
+    "CurrentProbe",
+    "Disk",
+    "DiskAccess",
+    "DiskEnergy",
+    "DiskSpec",
+    "EffectiveVoltageTable",
+    "EpuSensor",
+    "Governor",
+    "IO_MIXED",
+    "Idle",
+    "Memory",
+    "MemorySpec",
+    "PState",
+    "PowerInterval",
+    "Psu",
+    "PsuSpec",
+    "PvcSetting",
+    "RunMeasurement",
+    "STOCK_SETTING",
+    "SystemUnderTest",
+    "Trace",
+    "UtilizationGovernor",
+    "VoltageDowngrade",
+    "WallMeter",
+    "build_voltage_table",
+    "default_system",
+    "e8500_like_spec",
+    "frequency_steps_hz",
+    "paper_sut",
+    "pvc_settings_grid",
+]

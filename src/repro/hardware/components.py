@@ -1,0 +1,56 @@
+"""Fixed-draw board components: motherboard, GPU, CPU fan.
+
+These are the components whose power the paper characterizes only as
+constants in the Table 1 buildup (PSU + motherboard on, +CPU/fan, +RAM,
++GPU).  DC draws are chosen so the PSU efficiency curve reproduces the
+published wall readings; see :mod:`repro.hardware.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Motherboard:
+    """ASUS P5Q3 Deluxe-like board with the onboard EPU sensor.
+
+    ``standby_w`` is the board's share of the soft-off draw (wake logic,
+    standby rails); ``on_w`` is the DC draw once powered, chipset and VRM
+    overhead included; ``cpu_support_w`` is the extra board circuitry
+    activated when a CPU is installed (VRM phases, chipset links) --
+    the paper notes installing the CPU "activates other components".
+    """
+
+    name: str = "p5q3-deluxe-like"
+    standby_w: float = 4.7
+    on_w: float = 13.4
+    cpu_support_w: float = 14.0
+
+    def __post_init__(self) -> None:
+        for value in (self.standby_w, self.on_w, self.cpu_support_w):
+            if value < 0:
+                raise ValueError("power terms must be non-negative")
+
+
+@dataclass
+class Gpu:
+    """Entry-level discrete GPU (GeForce 8400GS-like), idle on a server."""
+
+    name: str = "8400gs-like"
+    idle_w: float = 11.3
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0:
+            raise ValueError("idle_w must be non-negative")
+
+
+@dataclass
+class CpuFan:
+    """Stock cooler fan; counted with the CPU in the Table 1 buildup."""
+
+    w: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.w < 0:
+            raise ValueError("fan power must be non-negative")

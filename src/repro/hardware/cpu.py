@@ -1,0 +1,270 @@
+"""Processor model: p-states, FSB underclocking, voltage downgrades.
+
+Implements the machinery of the paper's Section 3:
+
+* A set of **p-states**, each a (multiplier, VID voltage) pair.  CPU
+  frequency is ``multiplier x FSB``; the E8500-like default uses the
+  paper's illustrative multipliers 6..9 on a 333 MHz FSB.
+* **FSB underclocking** (the PVC mechanism): scaling the FSB down by
+  5/10/15% lowers the frequency of *every* p-state while keeping all
+  multiplier steps available -- unlike **multiplier capping**, which
+  removes the top steps (implemented in :mod:`repro.hardware.dvfs` as
+  the ablation baseline).
+* **Voltage downgrades** ("small"/"medium" in the ASUS 6-Engine sense):
+  a negative offset applied on top of the per-p-state VID.
+* The circuit power model ``P = C . V^2 . F + P_static`` from Sec. 3.4.
+
+Calibrated profiles may install an :class:`EffectiveVoltageTable` that
+pins the *effective* (sensor-observed) voltage per PVC setting; see
+:mod:`repro.hardware.profiles` for how those values are derived from the
+paper's reported energy ratios.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class VoltageDowngrade(enum.Enum):
+    """ASUS 6-Engine style CPU voltage downgrade presets."""
+
+    NONE = "none"
+    SMALL = "small"
+    MEDIUM = "medium"
+
+
+#: Generic voltage offsets (volts) for each downgrade preset, used when no
+#: calibrated effective-voltage table is installed.
+DEFAULT_DOWNGRADE_OFFSETS: dict[VoltageDowngrade, float] = {
+    VoltageDowngrade.NONE: 0.0,
+    VoltageDowngrade.SMALL: 0.050,
+    VoltageDowngrade.MEDIUM: 0.125,
+}
+
+
+@dataclass(frozen=True)
+class PvcSetting:
+    """One operating point of the PVC mechanism.
+
+    ``underclock_pct`` is the percentage by which the FSB is slowed
+    (0 = stock); ``downgrade`` is the CPU voltage downgrade preset.
+    The paper sweeps {0, 5, 10, 15}% x {small, medium}.
+    """
+
+    underclock_pct: float = 0.0
+    downgrade: VoltageDowngrade = VoltageDowngrade.NONE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.underclock_pct < 100.0:
+            raise ValueError("underclock_pct must be in [0, 100)")
+
+    @property
+    def fsb_scale(self) -> float:
+        """Multiplier applied to the stock FSB frequency."""
+        return 1.0 - self.underclock_pct / 100.0
+
+    @property
+    def is_stock(self) -> bool:
+        return (
+            self.underclock_pct == 0.0
+            and self.downgrade is VoltageDowngrade.NONE
+        )
+
+    def describe(self) -> str:
+        if self.is_stock:
+            return "stock"
+        return f"{self.underclock_pct:g}% underclock / {self.downgrade.value}"
+
+
+STOCK_SETTING = PvcSetting()
+
+
+@dataclass(frozen=True)
+class PState:
+    """A processor performance state: CPU multiplier and VID voltage."""
+
+    multiplier: float
+    vid_volts: float
+
+    def __post_init__(self) -> None:
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self.vid_volts <= 0:
+            raise ValueError("vid_volts must be positive")
+
+
+class EffectiveVoltageTable:
+    """Calibrated effective voltage of the *top* p-state per PVC setting.
+
+    The paper validates (Fig. 4) that measured EDP tracks ``V^2/F`` using
+    the *measured average* voltage, which drifts slightly upward with
+    deeper underclocking.  A table instance pins those effective values;
+    lower p-states scale proportionally to their VID ratio.
+
+    Keys are ``(underclock_pct, VoltageDowngrade)``; missing keys fall
+    back to the generic VID-minus-offset model.
+    """
+
+    def __init__(self, entries: dict[tuple[float, VoltageDowngrade], float]):
+        self._entries = dict(entries)
+
+    def lookup(self, setting: PvcSetting) -> float | None:
+        return self._entries.get((setting.underclock_pct, setting.downgrade))
+
+    def entries(self) -> dict[tuple[float, VoltageDowngrade], float]:
+        return dict(self._entries)
+
+
+@dataclass
+class CpuSpec:
+    """Static description of a processor.
+
+    ``c_eff`` is the effective switched capacitance of the ``C.V^2.F``
+    model in W / (V^2 Hz); ``static_power_w`` is leakage; ``idle_activity``
+    is the residual activity factor when the core is idle at the lowest
+    p-state (clock-gated but not power-gated, as on Core2-era parts).
+    """
+
+    model: str
+    fsb_hz: float
+    pstates: list[PState]
+    c_eff: float
+    static_power_w: float
+    idle_activity: float = 0.08
+    downgrade_offsets: dict[VoltageDowngrade, float] = field(
+        default_factory=lambda: dict(DEFAULT_DOWNGRADE_OFFSETS)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.pstates:
+            raise ValueError("a CPU needs at least one p-state")
+        self.pstates = sorted(self.pstates, key=lambda p: p.multiplier)
+        if self.fsb_hz <= 0:
+            raise ValueError("fsb_hz must be positive")
+        if self.c_eff <= 0:
+            raise ValueError("c_eff must be positive")
+        if self.static_power_w < 0:
+            raise ValueError("static_power_w must be non-negative")
+
+    @property
+    def top_pstate(self) -> PState:
+        return self.pstates[-1]
+
+    @property
+    def lowest_pstate(self) -> PState:
+        return self.pstates[0]
+
+    @property
+    def stock_frequency_hz(self) -> float:
+        return self.top_pstate.multiplier * self.fsb_hz
+
+
+class Cpu:
+    """A processor under a given PVC setting.
+
+    All frequencies, voltages, and powers exposed here already reflect
+    the installed :class:`PvcSetting`, so callers (the system simulator,
+    the governor) never deal with underclock math themselves.
+    """
+
+    def __init__(
+        self,
+        spec: CpuSpec,
+        setting: PvcSetting = STOCK_SETTING,
+        voltage_table: EffectiveVoltageTable | None = None,
+    ):
+        self.spec = spec
+        self.setting = setting
+        self.voltage_table = voltage_table
+
+    # -- frequency ---------------------------------------------------
+
+    @property
+    def fsb_hz(self) -> float:
+        """FSB frequency after underclocking."""
+        return self.spec.fsb_hz * self.setting.fsb_scale
+
+    def frequency_hz(self, pstate: PState) -> float:
+        """CPU frequency at ``pstate`` under the current setting."""
+        return pstate.multiplier * self.fsb_hz
+
+    @property
+    def available_pstates(self) -> list[PState]:
+        """All p-states remain available under underclocking (Sec. 3)."""
+        return list(self.spec.pstates)
+
+    @property
+    def top_frequency_hz(self) -> float:
+        return self.frequency_hz(self.spec.top_pstate)
+
+    # -- voltage -----------------------------------------------------
+
+    def voltage(self, pstate: PState) -> float:
+        """Effective core voltage at ``pstate`` under the current setting.
+
+        If a calibrated table pins the top p-state voltage for this
+        setting, lower p-states scale by their VID ratio; otherwise the
+        generic VID-minus-offset model applies.
+        """
+        if self.voltage_table is not None:
+            top_v = self.voltage_table.lookup(self.setting)
+            if top_v is not None:
+                ratio = pstate.vid_volts / self.spec.top_pstate.vid_volts
+                return top_v * ratio
+        offset = self.spec.downgrade_offsets[self.setting.downgrade]
+        return max(0.1, pstate.vid_volts - offset)
+
+    # -- power -------------------------------------------------------
+
+    def busy_power_w(self, pstate: PState, activity: float = 1.0) -> float:
+        """Package power while executing at ``pstate``.
+
+        ``activity`` scales the dynamic component (1.0 = fully active
+        pipeline; memory-stalled code has a lower activity factor).
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        volts = self.voltage(pstate)
+        freq = self.frequency_hz(pstate)
+        dynamic = self.spec.c_eff * volts * volts * freq * activity
+        return self.spec.static_power_w + dynamic
+
+    def idle_power_w(self) -> float:
+        """Package power when idle (lowest p-state, clock-gated)."""
+        return self.busy_power_w(
+            self.spec.lowest_pstate, activity=self.spec.idle_activity
+        )
+
+    def with_setting(
+        self,
+        setting: PvcSetting,
+        voltage_table: EffectiveVoltageTable | None = None,
+    ) -> "Cpu":
+        """A copy of this CPU under a different PVC setting."""
+        table = voltage_table if voltage_table is not None else self.voltage_table
+        return Cpu(self.spec, setting, table)
+
+
+def e8500_like_spec() -> CpuSpec:
+    """The paper's illustrative processor: multipliers 6..9 on 333 MHz FSB.
+
+    VID voltages step linearly from 1.025 V (x6) to 1.250 V (x9), a
+    typical Core2 ladder.  ``c_eff`` and ``static_power_w`` are set so
+    stock fully-busy power is ~38 W and idle ~4.3 W, consistent with the
+    CPU-energy magnitudes reported in the paper (Sec. 3.2/3.5).
+    """
+    pstates = [
+        PState(6.0, 1.025),
+        PState(7.0, 1.100),
+        PState(8.0, 1.175),
+        PState(9.0, 1.250),
+    ]
+    return CpuSpec(
+        model="e8500-like",
+        fsb_hz=333e6,
+        pstates=pstates,
+        c_eff=7.55e-9,
+        static_power_w=3.0,
+        idle_activity=0.08,
+    )

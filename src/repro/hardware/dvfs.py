@@ -1,0 +1,115 @@
+"""DVFS governors: SpeedStep-like p-state selection and multiplier capping.
+
+The paper lets Intel SpeedStep act freely during every run; the CPU
+therefore drops to lower p-states during low-utilization phases (client
+result handling, disk waits).  :class:`UtilizationGovernor` reproduces
+that behaviour deterministically: given a work segment's duty-cycle
+utilization it picks the lowest p-state that still leaves headroom,
+exactly like an "ondemand"-style governor in steady state.
+
+:class:`CappedGovernor` implements the *alternative* power-management
+mechanism the paper contrasts with underclocking (Sec. 3): capping the
+maximum multiplier.  Capping removes the top p-states entirely, which is
+a coarser knob -- the ablation benchmark shows the resulting frequency
+granularity difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cpu import Cpu, PState
+
+
+class Governor:
+    """Base class: maps a utilization level to a p-state."""
+
+    def select_pstate(self, cpu: Cpu, utilization: float) -> PState:
+        raise NotImplementedError
+
+    def available_pstates(self, cpu: Cpu) -> list[PState]:
+        return cpu.available_pstates
+
+
+@dataclass
+class UtilizationGovernor(Governor):
+    """SpeedStep-like governor.
+
+    A segment running at duty-cycle ``u`` at the *top* frequency could run
+    at a frequency ``u * f_top`` and still keep up.  The governor picks the
+    slowest available p-state whose frequency is at least
+    ``u * f_top / headroom`` so the CPU stays slightly under-committed,
+    then the system simulator recomputes the actual busy fraction at the
+    chosen frequency.
+
+    ``headroom`` < 1 makes the governor conservative (it keeps a margin
+    before downclocking), matching SpeedStep's bias toward responsiveness.
+    """
+
+    headroom: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+
+    def select_pstate(self, cpu: Cpu, utilization: float) -> PState:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        pstates = self.available_pstates(cpu)
+        top_freq = pstates[-1].multiplier * cpu.fsb_hz
+        required = utilization * top_freq / self.headroom
+        for pstate in pstates:  # ascending multiplier order
+            if pstate.multiplier * cpu.fsb_hz >= required:
+                return pstate
+        return pstates[-1]
+
+
+@dataclass
+class CappedGovernor(Governor):
+    """Multiplier-capped power management (the paper's contrast case).
+
+    Removes every p-state whose multiplier exceeds ``max_multiplier``;
+    within the remaining states it behaves like the utilization governor.
+    With the paper's example (FSB 333 MHz, multipliers 6..9), a cap of 7
+    limits the CPU to 2.33 GHz and leaves only two transition states.
+    """
+
+    max_multiplier: float
+    headroom: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.max_multiplier <= 0:
+            raise ValueError("max_multiplier must be positive")
+
+    def available_pstates(self, cpu: Cpu) -> list[PState]:
+        allowed = [
+            p for p in cpu.available_pstates
+            if p.multiplier <= self.max_multiplier
+        ]
+        if not allowed:
+            # The cap is below the lowest multiplier: clamp to the lowest.
+            allowed = [cpu.available_pstates[0]]
+        return allowed
+
+    def select_pstate(self, cpu: Cpu, utilization: float) -> PState:
+        inner = UtilizationGovernor(headroom=self.headroom)
+        pstates = self.available_pstates(cpu)
+        top_freq = pstates[-1].multiplier * cpu.fsb_hz
+        required = utilization * top_freq / inner.headroom
+        for pstate in pstates:
+            if pstate.multiplier * cpu.fsb_hz >= required:
+                return pstate
+        return pstates[-1]
+
+
+def frequency_steps_hz(cpu: Cpu, governor: Governor) -> list[float]:
+    """The distinct CPU frequencies reachable under ``governor``.
+
+    Used by the capping-vs-underclocking ablation to show that capping
+    shrinks the set of transition states while underclocking keeps all of
+    them (at globally scaled frequencies).
+    """
+    return sorted(
+        pstate.multiplier * cpu.fsb_hz
+        for pstate in governor.available_pstates(cpu)
+    )

@@ -1,0 +1,85 @@
+"""DDR3 main-memory model.
+
+Main memory sits on the Northbridge: its clock is a multiple of the FSB,
+so PVC underclocking slows memory too and trims its power (Sec. 3 of the
+paper).  Power is modelled per DIMM as a background term plus an active
+term proportional to the memory clock and to how busy the system is --
+Table 1 puts the two 1 GB DIMMs at ~6 W combined when idle-on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MemorySpec:
+    """Static description of the installed DIMMs.
+
+    ``background_w_per_dimm`` covers refresh + standby current;
+    ``active_w_per_dimm`` is the extra draw at full access rate and the
+    stock memory clock.  ``fsb_multiplier`` relates the memory clock to
+    the FSB (DDR3-1333 on a 333 MHz FSB uses a 4:1 ratio counted in
+    transfers).
+    """
+
+    dimm_count: int = 2
+    dimm_gb: float = 1.0
+    channel_overhead_w: float = 2.55
+    background_w_per_dimm: float = 1.45
+    active_w_per_dimm: float = 1.3
+    fsb_multiplier: float = 4.0
+    stock_fsb_hz: float = 333e6
+
+    def __post_init__(self) -> None:
+        if self.dimm_count < 0:
+            raise ValueError("dimm_count must be non-negative")
+        if self.background_w_per_dimm < 0 or self.active_w_per_dimm < 0:
+            raise ValueError("power terms must be non-negative")
+        if self.channel_overhead_w < 0:
+            raise ValueError("channel_overhead_w must be non-negative")
+
+
+class Memory:
+    """Memory subsystem under a given FSB frequency."""
+
+    def __init__(self, spec: MemorySpec, fsb_hz: float | None = None):
+        self.spec = spec
+        self.fsb_hz = fsb_hz if fsb_hz is not None else spec.stock_fsb_hz
+        if self.fsb_hz <= 0:
+            raise ValueError("fsb_hz must be positive")
+
+    @property
+    def clock_hz(self) -> float:
+        """Memory clock, scaled with the (possibly underclocked) FSB."""
+        return self.fsb_hz * self.spec.fsb_multiplier
+
+    @property
+    def clock_scale(self) -> float:
+        return self.fsb_hz / self.spec.stock_fsb_hz
+
+    def power_w(self, activity: float) -> float:
+        """Total DIMM power at an access ``activity`` level in [0, 1].
+
+        The active component scales with the memory clock, so FSB
+        underclocking reduces it proportionally -- the paper's point that
+        underclocking saves memory energy as a side effect.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        background = self.spec.background_w_per_dimm * self.spec.dimm_count
+        if self.spec.dimm_count > 0:
+            background += self.spec.channel_overhead_w
+        active = (
+            self.spec.active_w_per_dimm
+            * self.spec.dimm_count
+            * activity
+            * self.clock_scale
+        )
+        return background + active
+
+    def idle_power_w(self) -> float:
+        return self.power_w(0.0)
+
+    def with_fsb(self, fsb_hz: float) -> "Memory":
+        return Memory(self.spec, fsb_hz)

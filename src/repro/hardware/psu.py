@@ -1,0 +1,85 @@
+"""Power-supply-unit model: efficiency versus load.
+
+The paper measures wall power with a Yokogawa meter and estimates the
+Corsair VX450W's efficiency at ~83% near the system's ~20% load point
+(Sec. 3.2), noting that Table 1 therefore contains significant PSU
+losses.  We model an 80plus-style efficiency curve: poor at very light
+load, peaking in the middle of the rating, slightly lower at full load.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+def _default_curve() -> list[tuple[float, float]]:
+    # (load fraction of rating, efficiency) anchor points; VX450W-like.
+    return [
+        (0.00, 0.60),
+        (0.05, 0.72),
+        (0.10, 0.79),
+        (0.20, 0.83),
+        (0.50, 0.86),
+        (0.80, 0.85),
+        (1.00, 0.83),
+    ]
+
+
+@dataclass
+class PsuSpec:
+    """Static description of the PSU.
+
+    ``standby_w`` is the wall draw with the system soft-off (the 9.2 W
+    first row of Table 1 minus the motherboard's standby share).
+    """
+
+    rating_w: float = 450.0
+    standby_w: float = 4.5
+    curve: list[tuple[float, float]] = field(default_factory=_default_curve)
+
+    def __post_init__(self) -> None:
+        if self.rating_w <= 0:
+            raise ValueError("rating_w must be positive")
+        if self.standby_w < 0:
+            raise ValueError("standby_w must be non-negative")
+        self.curve = sorted(self.curve)
+        if len(self.curve) < 2:
+            raise ValueError("efficiency curve needs at least two points")
+        for _, eff in self.curve:
+            if not 0.0 < eff <= 1.0:
+                raise ValueError("efficiency must be in (0, 1]")
+
+
+class Psu:
+    """Converts DC load into wall draw through the efficiency curve."""
+
+    def __init__(self, spec: PsuSpec | None = None):
+        self.spec = spec if spec is not None else PsuSpec()
+
+    def efficiency(self, dc_load_w: float) -> float:
+        """Piecewise-linear interpolated efficiency at ``dc_load_w``."""
+        if dc_load_w < 0:
+            raise ValueError("dc_load_w must be non-negative")
+        frac = min(1.0, dc_load_w / self.spec.rating_w)
+        points = self.spec.curve
+        keys = [p[0] for p in points]
+        idx = bisect.bisect_right(keys, frac)
+        if idx == 0:
+            return points[0][1]
+        if idx == len(points):
+            return points[-1][1]
+        (x0, y0), (x1, y1) = points[idx - 1], points[idx]
+        if x1 == x0:
+            return y1
+        t = (frac - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+    def wall_power_w(self, dc_load_w: float) -> float:
+        """Wall draw for a DC load, including conversion losses."""
+        if dc_load_w == 0:
+            return self.spec.standby_w
+        return dc_load_w / self.efficiency(dc_load_w)
+
+    def loss_w(self, dc_load_w: float) -> float:
+        return self.wall_power_w(dc_load_w) - dc_load_w

@@ -1,0 +1,381 @@
+"""System under test: plays work traces, producing time and energy.
+
+:class:`SystemUnderTest` composes the component models (CPU, memory,
+disk, PSU, board, GPU) and converts a :class:`~repro.hardware.trace.Trace`
+into a :class:`RunMeasurement` under a given PVC setting.  The result
+carries a piecewise-constant power *timeline* that the sensor models in
+:mod:`repro.hardware.sensors` can sample, mirroring how the paper reads
+the EPU sensor and the wall meter.
+
+Segment semantics
+-----------------
+``CpuWork``/``ClientWork``
+    The governor selects a p-state from the segment's duty-cycle
+    utilization.  Busy time is ``cycles / f(pstate)``; the idle gaps
+    inside the segment come from *external* latency and are computed at
+    the stock top frequency, so slowing the CPU stretches only the busy
+    part.  Fully-busy work therefore scales as ``1/f`` while low-duty
+    work stretches sub-linearly -- which is why the paper's CPU-bound
+    MySQL runs pay ~5% time for a 5% underclock while the mixed
+    commercial runs pay only ~3%.
+``DiskAccess``
+    Wall time from the disk model, frequency-invariant.  The CPU runs
+    light overlap work at the governor's lowest p-state.
+``Idle``
+    Everything idles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.components import CpuFan, Gpu, Motherboard
+from repro.hardware.cpu import (
+    Cpu,
+    CpuSpec,
+    EffectiveVoltageTable,
+    PvcSetting,
+    STOCK_SETTING,
+    e8500_like_spec,
+)
+from repro.hardware.disk import Disk, DiskEnergy, DiskSpec, ZERO_DISK_ENERGY
+from repro.hardware.dvfs import Governor, UtilizationGovernor
+from repro.hardware.memory import Memory, MemorySpec
+from repro.hardware.psu import Psu, PsuSpec
+from repro.hardware.trace import ClientWork, CpuWork, DiskAccess, Idle, Trace
+
+#: Workload classes select which calibrated effective-voltage table
+#: applies (see profiles.py): fully CPU-bound runs (MySQL memory engine)
+#: versus mixed CPU/I-O runs (commercial disk engine).
+CPU_BOUND = "cpu_bound"
+IO_MIXED = "io_mixed"
+
+
+@dataclass(frozen=True)
+class PowerInterval:
+    """A window of constant per-component power draw."""
+
+    duration_s: float
+    cpu_w: float
+    memory_w: float
+    disk_5v_w: float
+    disk_12v_w: float
+    board_w: float
+    gpu_w: float
+    fan_w: float
+    label: str = ""
+
+    @property
+    def disk_w(self) -> float:
+        return self.disk_5v_w + self.disk_12v_w
+
+    @property
+    def dc_total_w(self) -> float:
+        return (
+            self.cpu_w + self.memory_w + self.disk_w
+            + self.board_w + self.gpu_w + self.fan_w
+        )
+
+
+@dataclass
+class RunMeasurement:
+    """Time and energy for one played trace.
+
+    ``cpu_joules`` corresponds to the paper's EPU-sensor figure;
+    ``disk_energy`` to the 5V/12V current-probe figures; ``wall_joules``
+    to the Yokogawa wall reading (PSU losses included).
+    """
+
+    duration_s: float
+    cpu_joules: float
+    memory_joules: float
+    disk_energy: DiskEnergy
+    board_joules: float
+    gpu_joules: float
+    fan_joules: float
+    wall_joules: float
+    timeline: list[PowerInterval] = field(default_factory=list)
+
+    @property
+    def disk_joules(self) -> float:
+        return self.disk_energy.total_joules
+
+    @property
+    def dc_joules(self) -> float:
+        return (
+            self.cpu_joules + self.memory_joules + self.disk_joules
+            + self.board_joules + self.gpu_joules + self.fan_joules
+        )
+
+    @property
+    def avg_cpu_power_w(self) -> float:
+        return self.cpu_joules / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def avg_wall_power_w(self) -> float:
+        return self.wall_joules / self.duration_s if self.duration_s else 0.0
+
+    def component_joules(self) -> dict[str, float]:
+        return {
+            "cpu": self.cpu_joules,
+            "memory": self.memory_joules,
+            "disk": self.disk_joules,
+            "board": self.board_joules,
+            "gpu": self.gpu_joules,
+            "fan": self.fan_joules,
+        }
+
+    def __add__(self, other: "RunMeasurement") -> "RunMeasurement":
+        return RunMeasurement(
+            duration_s=self.duration_s + other.duration_s,
+            cpu_joules=self.cpu_joules + other.cpu_joules,
+            memory_joules=self.memory_joules + other.memory_joules,
+            disk_energy=self.disk_energy + other.disk_energy,
+            board_joules=self.board_joules + other.board_joules,
+            gpu_joules=self.gpu_joules + other.gpu_joules,
+            fan_joules=self.fan_joules + other.fan_joules,
+            wall_joules=self.wall_joules + other.wall_joules,
+            timeline=self.timeline + other.timeline,
+        )
+
+
+class SystemUnderTest:
+    """The simulated server (paper Sec. 3.1 configuration by default)."""
+
+    def __init__(
+        self,
+        cpu_spec: CpuSpec | None = None,
+        memory_spec: MemorySpec | None = None,
+        disk_spec: DiskSpec | None = None,
+        psu_spec: PsuSpec | None = None,
+        motherboard: Motherboard | None = None,
+        gpu: Gpu | None = None,
+        fan: CpuFan | None = None,
+        governor: Governor | None = None,
+        voltage_tables: dict[str, EffectiveVoltageTable] | None = None,
+        has_gpu: bool = True,
+        has_disk: bool = True,
+        mem_activity_coupling: float = 0.5,
+    ):
+        self.cpu_spec = cpu_spec if cpu_spec is not None else e8500_like_spec()
+        self.memory_spec = memory_spec if memory_spec is not None else MemorySpec()
+        self.disk = Disk(disk_spec)
+        self.psu = Psu(psu_spec)
+        self.motherboard = motherboard if motherboard is not None else Motherboard()
+        self.gpu = gpu if gpu is not None else Gpu()
+        self.fan = fan if fan is not None else CpuFan()
+        self.governor = governor if governor is not None else UtilizationGovernor()
+        self.voltage_tables = voltage_tables or {}
+        self.has_gpu = has_gpu
+        self.has_disk = has_disk
+        self.mem_activity_coupling = mem_activity_coupling
+        self.setting: PvcSetting = STOCK_SETTING
+
+    # -- configuration -------------------------------------------------
+
+    def apply_setting(self, setting: PvcSetting) -> None:
+        """Install a PVC operating point (underclock + voltage downgrade)."""
+        self.setting = setting
+
+    def cpu_for(self, workload_class: str = CPU_BOUND) -> Cpu:
+        """CPU view under the current setting and workload class."""
+        table = self.voltage_tables.get(workload_class)
+        return Cpu(self.cpu_spec, self.setting, table)
+
+    def memory_for(self) -> Memory:
+        fsb = self.cpu_spec.fsb_hz * self.setting.fsb_scale
+        return Memory(self.memory_spec, fsb)
+
+    # -- fixed draws ----------------------------------------------------
+
+    def _board_w(self) -> float:
+        return self.motherboard.on_w + self.motherboard.cpu_support_w
+
+    def _gpu_w(self) -> float:
+        return self.gpu.idle_w if self.has_gpu else 0.0
+
+    # -- trace playback ---------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        workload_class: str = CPU_BOUND,
+    ) -> RunMeasurement:
+        """Play ``trace`` under the current PVC setting."""
+        cpu = self.cpu_for(workload_class)
+        memory = self.memory_for()
+        intervals: list[PowerInterval] = []
+        disk_energy = ZERO_DISK_ENERGY
+
+        for seg in trace:
+            if isinstance(seg, (CpuWork, ClientWork)):
+                intervals.append(self._play_cpu(cpu, memory, seg))
+            elif isinstance(seg, DiskAccess):
+                interval, rail = self._play_disk(cpu, memory, seg)
+                intervals.append(interval)
+                disk_energy = disk_energy + rail
+            elif isinstance(seg, Idle):
+                intervals.append(self._play_idle(cpu, memory, seg))
+            else:  # pragma: no cover - exhaustive over Segment
+                raise TypeError(f"unknown segment type: {type(seg)!r}")
+
+        return self._integrate(intervals, disk_energy)
+
+    def _play_cpu(
+        self, cpu: Cpu, memory: Memory, seg: CpuWork | ClientWork
+    ) -> PowerInterval:
+        pstate = self.governor.select_pstate(cpu, seg.utilization)
+        freq = cpu.frequency_hz(pstate)
+        busy_s = seg.cycles / freq
+        # Idle gaps arise from external latency, sized at stock top speed.
+        stock_top = self.cpu_spec.stock_frequency_hz
+        gap_s = (seg.cycles / stock_top) * (1.0 - seg.utilization) / seg.utilization
+        wall_s = busy_s + gap_s
+        if wall_s <= 0.0:
+            return PowerInterval(0, 0, 0, 0, 0, 0, 0, 0, seg.label)
+        busy_frac = busy_s / wall_s
+        cpu_w = (
+            busy_frac * cpu.busy_power_w(pstate)
+            + (1.0 - busy_frac) * cpu.idle_power_w()
+        )
+        mem_w = memory.power_w(
+            min(1.0, busy_frac * self.mem_activity_coupling)
+        )
+        return self._interval(seg.label, wall_s, cpu_w, mem_w,
+                              disk_active_frac=0.0)
+
+    def _play_disk(
+        self, cpu: Cpu, memory: Memory, seg: DiskAccess
+    ) -> tuple[PowerInterval, DiskEnergy]:
+        if not self.has_disk:
+            raise ValueError("trace touches the disk but the SUT has none")
+        wall_s = self.disk.access_time_s(seg)
+        if wall_s <= 0.0:
+            return (
+                PowerInterval(0, 0, 0, 0, 0, 0, 0, 0, seg.label),
+                ZERO_DISK_ENERGY,
+            )
+        util = seg.cpu_overlap_utilization
+        pstate = self.governor.select_pstate(cpu, util)
+        cpu_w = (
+            util * cpu.busy_power_w(pstate)
+            + (1.0 - util) * cpu.idle_power_w()
+        )
+        mem_w = memory.power_w(min(1.0, 0.2))
+        interval = self._interval(seg.label, wall_s, cpu_w, mem_w,
+                                  disk_active_frac=1.0)
+        rail = self.disk.active_energy(wall_s)
+        return interval, rail
+
+    def _play_idle(
+        self, cpu: Cpu, memory: Memory, seg: Idle
+    ) -> PowerInterval:
+        return self._interval(
+            seg.label, seg.seconds, cpu.idle_power_w(),
+            memory.idle_power_w(), disk_active_frac=0.0,
+        )
+
+    def _interval(
+        self,
+        label: str,
+        wall_s: float,
+        cpu_w: float,
+        mem_w: float,
+        disk_active_frac: float,
+    ) -> PowerInterval:
+        if self.has_disk:
+            disk_5v = (
+                disk_active_frac * self.disk.spec.active_5v_w
+                + (1 - disk_active_frac) * self.disk.spec.idle_5v_w
+            )
+            disk_12v = (
+                disk_active_frac * self.disk.spec.active_12v_w
+                + (1 - disk_active_frac) * self.disk.spec.idle_12v_w
+            )
+        else:
+            disk_5v = disk_12v = 0.0
+        return PowerInterval(
+            duration_s=wall_s,
+            cpu_w=cpu_w,
+            memory_w=mem_w,
+            disk_5v_w=disk_5v,
+            disk_12v_w=disk_12v,
+            board_w=self._board_w(),
+            gpu_w=self._gpu_w(),
+            fan_w=self.fan.w,
+            label=label,
+        )
+
+    def _integrate(
+        self, intervals: list[PowerInterval], disk_rail: DiskEnergy
+    ) -> RunMeasurement:
+        duration = sum(iv.duration_s for iv in intervals)
+        cpu_j = sum(iv.cpu_w * iv.duration_s for iv in intervals)
+        mem_j = sum(iv.memory_w * iv.duration_s for iv in intervals)
+        board_j = sum(iv.board_w * iv.duration_s for iv in intervals)
+        gpu_j = sum(iv.gpu_w * iv.duration_s for iv in intervals)
+        fan_j = sum(iv.fan_w * iv.duration_s for iv in intervals)
+        disk_5v = sum(iv.disk_5v_w * iv.duration_s for iv in intervals)
+        disk_12v = sum(iv.disk_12v_w * iv.duration_s for iv in intervals)
+        wall_j = sum(
+            self.psu.wall_power_w(iv.dc_total_w) * iv.duration_s
+            for iv in intervals
+        )
+        return RunMeasurement(
+            duration_s=duration,
+            cpu_joules=cpu_j,
+            memory_joules=mem_j,
+            disk_energy=DiskEnergy(disk_5v, disk_12v),
+            board_joules=board_j,
+            gpu_joules=gpu_j,
+            fan_joules=fan_j,
+            wall_joules=wall_j,
+            timeline=intervals,
+        )
+
+    # -- idle / buildup views (Table 1) ---------------------------------
+
+    def idle_dc_power_w(
+        self,
+        with_cpu: bool = True,
+        dimm_count: int | None = None,
+        with_gpu: bool = True,
+        with_disk: bool | None = None,
+    ) -> float:
+        """DC draw of the idle system with a subset of components installed.
+
+        Supports the Table 1 buildup experiment: the machine is assembled
+        piece by piece and the (wall) power is read at each step.
+        """
+        total = self.motherboard.on_w
+        if with_cpu:
+            cpu = Cpu(self.cpu_spec, STOCK_SETTING)
+            total += self.motherboard.cpu_support_w
+            total += cpu.idle_power_w()
+            total += self.fan.w
+        count = self.memory_spec.dimm_count if dimm_count is None else dimm_count
+        if count > 0:
+            spec = MemorySpec(
+                dimm_count=count,
+                dimm_gb=self.memory_spec.dimm_gb,
+                channel_overhead_w=self.memory_spec.channel_overhead_w,
+                background_w_per_dimm=self.memory_spec.background_w_per_dimm,
+                active_w_per_dimm=self.memory_spec.active_w_per_dimm,
+                fsb_multiplier=self.memory_spec.fsb_multiplier,
+                stock_fsb_hz=self.memory_spec.stock_fsb_hz,
+            )
+            total += Memory(spec).idle_power_w()
+        if with_gpu and self.has_gpu:
+            total += self.gpu.idle_w
+        disk = self.has_disk if with_disk is None else with_disk
+        if disk:
+            total += self.disk.spec.idle_power_w
+        return total
+
+    def idle_wall_power_w(self, **kwargs) -> float:
+        """Wall draw of the idle system (PSU losses included)."""
+        return self.psu.wall_power_w(self.idle_dc_power_w(**kwargs))
+
+    def soft_off_wall_power_w(self) -> float:
+        """Wall draw with the system plugged in but soft-off (Table 1 row 1)."""
+        return self.psu.spec.standby_w + self.motherboard.standby_w

@@ -1,0 +1,232 @@
+"""Work-segment model: the interface between the DBMS and the hardware.
+
+Executing a query (or a whole workload) against the database substrate
+produces a :class:`Trace` -- an ordered list of *work segments* describing
+what the machine has to do.  The :class:`~repro.hardware.system.SystemUnderTest`
+then "plays" the trace under a given PVC setting, turning work into wall
+time and energy.  This split is what lets a single execution be re-costed
+under many processor settings without re-running the query.
+
+Segment kinds
+-------------
+``CpuWork``
+    Pure computation: a number of CPU cycles executed at some duty-cycle
+    utilization.  Wall time scales inversely with CPU frequency, so this
+    is the portion of a workload that stretches under PVC underclocking.
+``DiskAccess``
+    A batch of disk reads or writes (sequential or random).  Wall time
+    comes from the disk model and is frequency-*invariant*; the CPU idles
+    (or runs light overlap work) while it waits.
+``ClientWork``
+    Computation attributed to the client (JDBC-style row fetch,
+    materialization, QED result splitting).  Semantically identical to
+    ``CpuWork`` but typically tagged with a low utilization, which makes
+    the DVFS governor drop to a lower p-state -- the effect behind QED's
+    low-power result-handling phases.
+``Idle``
+    Fixed wall-clock idle time (think time, sleeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CpuWork:
+    """``cycles`` of computation executed at ``utilization`` duty cycle.
+
+    ``utilization`` is the fraction of wall time the CPU is busy while the
+    segment runs; the remaining time is spent idle (pipeline gaps between
+    request handling, lock waits, and so on).  Busy time is
+    ``cycles / frequency`` and wall time is ``busy / utilization``.
+    """
+
+    cycles: float
+    utilization: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClientWork:
+    """Client-side computation (fetch/materialize/split), low duty cycle."""
+
+    cycles: float
+    utilization: float = 0.35
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class DiskAccess:
+    """A batch of disk operations.
+
+    ``num_ops`` read/write calls moving ``bytes_total`` bytes in total.
+    ``sequential`` selects the sequential- or random-access cost model.
+    ``cpu_overlap_utilization`` is the light CPU activity (interrupt
+    handling, buffer management) that overlaps the I/O window.
+    """
+
+    num_ops: int
+    bytes_total: float
+    sequential: bool
+    write: bool = False
+    cpu_overlap_utilization: float = 0.10
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_ops < 0:
+            raise ValueError("num_ops must be non-negative")
+        if self.bytes_total < 0:
+            raise ValueError("bytes_total must be non-negative")
+        if not 0.0 <= self.cpu_overlap_utilization <= 1.0:
+            raise ValueError("cpu_overlap_utilization must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Fixed wall-clock idle period."""
+
+    seconds: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+
+Segment = CpuWork | ClientWork | DiskAccess | Idle
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of work segments produced by one execution."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def add(self, segment: Segment) -> None:
+        self.segments.append(segment)
+
+    def extend(self, other: "Trace") -> None:
+        self.segments.extend(other.segments)
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_cpu_cycles(self) -> float:
+        """All server-side CPU cycles in the trace."""
+        return sum(s.cycles for s in self.segments if isinstance(s, CpuWork))
+
+    @property
+    def total_client_cycles(self) -> float:
+        """All client-side CPU cycles in the trace."""
+        return sum(
+            s.cycles for s in self.segments if isinstance(s, ClientWork)
+        )
+
+    @property
+    def total_disk_bytes(self) -> float:
+        return sum(
+            s.bytes_total for s in self.segments if isinstance(s, DiskAccess)
+        )
+
+    @property
+    def total_disk_ops(self) -> int:
+        return sum(
+            s.num_ops for s in self.segments if isinstance(s, DiskAccess)
+        )
+
+    def scaled(self, factor: float) -> "Trace":
+        """Return a copy with every work quantity multiplied by ``factor``.
+
+        Useful for extrapolating a small-scale-factor run to the paper's
+        scale factor: TPC-H work is uniform, so cycles, bytes, and idle
+        time all scale linearly with data size.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        scaled_segments: list[Segment] = []
+        for seg in self.segments:
+            if isinstance(seg, CpuWork):
+                scaled_segments.append(
+                    CpuWork(seg.cycles * factor, seg.utilization, seg.label)
+                )
+            elif isinstance(seg, ClientWork):
+                scaled_segments.append(
+                    ClientWork(seg.cycles * factor, seg.utilization, seg.label)
+                )
+            elif isinstance(seg, DiskAccess):
+                scaled_segments.append(
+                    DiskAccess(
+                        num_ops=max(0, round(seg.num_ops * factor)),
+                        bytes_total=seg.bytes_total * factor,
+                        sequential=seg.sequential,
+                        write=seg.write,
+                        cpu_overlap_utilization=seg.cpu_overlap_utilization,
+                        label=seg.label,
+                    )
+                )
+            else:
+                scaled_segments.append(Idle(seg.seconds * factor, seg.label))
+        return Trace(scaled_segments)
+
+    def merged(self) -> "Trace":
+        """Coalesce adjacent segments of identical kind and parameters.
+
+        Purely an optimization for very long traces; playing a merged
+        trace yields the same time and energy.
+        """
+        out: list[Segment] = []
+        for seg in self.segments:
+            if out and _mergeable(out[-1], seg):
+                out[-1] = _merge(out[-1], seg)
+            else:
+                out.append(seg)
+        return Trace(out)
+
+
+def _mergeable(a: Segment, b: Segment) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (CpuWork, ClientWork)):
+        return a.utilization == b.utilization and a.label == b.label
+    if isinstance(a, DiskAccess):
+        return (
+            a.sequential == b.sequential
+            and a.write == b.write
+            and a.cpu_overlap_utilization == b.cpu_overlap_utilization
+            and a.label == b.label
+        )
+    return a.label == b.label
+
+
+def _merge(a: Segment, b: Segment) -> Segment:
+    if isinstance(a, CpuWork):
+        return CpuWork(a.cycles + b.cycles, a.utilization, a.label)
+    if isinstance(a, ClientWork):
+        return ClientWork(a.cycles + b.cycles, a.utilization, a.label)
+    if isinstance(a, DiskAccess):
+        return DiskAccess(
+            num_ops=a.num_ops + b.num_ops,
+            bytes_total=a.bytes_total + b.bytes_total,
+            sequential=a.sequential,
+            write=a.write,
+            cpu_overlap_utilization=a.cpu_overlap_utilization,
+            label=a.label,
+        )
+    return Idle(a.seconds + b.seconds, a.label)

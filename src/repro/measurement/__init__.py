@@ -1,0 +1,14 @@
+"""Measurement: the paper's protocol, instruments, and reporting."""
+
+from repro.measurement.meter import InstrumentPanel, InstrumentedReading
+from repro.measurement.protocol import MeasurementProtocol, exact_protocol
+from repro.measurement.report import ComparisonRow, ComparisonTable
+
+__all__ = [
+    "ComparisonRow",
+    "ComparisonTable",
+    "InstrumentPanel",
+    "InstrumentedReading",
+    "MeasurementProtocol",
+    "exact_protocol",
+]

@@ -1,0 +1,53 @@
+"""Measurement helpers over run measurements and sensors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.sensors import CurrentProbe, EpuSensor, WallMeter
+from repro.hardware.system import RunMeasurement
+
+
+@dataclass(frozen=True)
+class InstrumentedReading:
+    """One run as the paper's instruments would report it."""
+
+    duration_s: float
+    epu_cpu_joules: float       # 1 Hz GUI-sampled estimate
+    exact_cpu_joules: float     # ground truth integral
+    wall_joules: float
+    disk_5v_joules: float
+    disk_12v_joules: float
+
+    @property
+    def epu_error(self) -> float:
+        if self.exact_cpu_joules == 0:
+            return 0.0
+        return (
+            (self.epu_cpu_joules - self.exact_cpu_joules)
+            / self.exact_cpu_joules
+        )
+
+    @property
+    def disk_joules(self) -> float:
+        return self.disk_5v_joules + self.disk_12v_joules
+
+
+class InstrumentPanel:
+    """The paper's bench: EPU sensor + wall meter + rail probes."""
+
+    def __init__(self, epu: EpuSensor | None = None):
+        self.epu = epu if epu is not None else EpuSensor()
+        self.wall = WallMeter()
+        self.probe = CurrentProbe()
+
+    def read(self, run: RunMeasurement) -> InstrumentedReading:
+        rails = self.probe.read(run)
+        return InstrumentedReading(
+            duration_s=run.duration_s,
+            epu_cpu_joules=self.epu.read(run).joules,
+            exact_cpu_joules=run.cpu_joules,
+            wall_joules=self.wall.read_joules(run),
+            disk_5v_joules=rails.joules_5v,
+            disk_12v_joules=rails.joules_12v,
+        )

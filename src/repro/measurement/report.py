@@ -1,0 +1,59 @@
+"""Paper-vs-measured comparison tables (used by every benchmark)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ComparisonRow:
+    label: str
+    paper: float | None
+    measured: float
+    unit: str = ""
+
+    @property
+    def error(self) -> float | None:
+        """Relative error vs the paper value (None when no paper value)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / abs(self.paper)
+
+
+@dataclass
+class ComparisonTable:
+    """A titled list of paper-vs-measured rows with ascii rendering."""
+
+    title: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, label: str, paper: float | None, measured: float,
+            unit: str = "") -> None:
+        self.rows.append(ComparisonRow(label, paper, measured, unit))
+
+    def max_abs_error(self) -> float:
+        errors = [abs(r.error) for r in self.rows if r.error is not None]
+        return max(errors) if errors else 0.0
+
+    def render(self) -> str:
+        width = max([len(r.label) for r in self.rows] + [len("metric")])
+        lines = [
+            f"== {self.title} ==",
+            f"{'metric'.ljust(width)}  {'paper':>10}  {'measured':>10}"
+            f"  {'err%':>7}",
+        ]
+        for r in self.rows:
+            paper = f"{r.paper:10.4g}" if r.paper is not None else " " * 10
+            err = (
+                f"{100 * r.error:+6.1f}%" if r.error is not None else "      -"
+            )
+            unit = f" {r.unit}" if r.unit else ""
+            lines.append(
+                f"{r.label.ljust(width)}  {paper}  {r.measured:10.4g}"
+                f"  {err}{unit}"
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,24 @@
+"""Workloads: TPC-H generator/queries, QED selections, arrivals, runner."""
+
+from repro.workloads.arrivals import (
+    Arrival,
+    bursty_arrivals,
+    drain_through_queue,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.client import ClientModel
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import selection_query, selection_workload
+
+__all__ = [
+    "Arrival",
+    "ClientModel",
+    "WorkloadRunner",
+    "bursty_arrivals",
+    "drain_through_queue",
+    "poisson_arrivals",
+    "selection_query",
+    "selection_workload",
+    "uniform_arrivals",
+]

@@ -1,0 +1,80 @@
+"""Arrival streams for workload-management experiments.
+
+QED's benefit depends on queries arriving over time (the queue must be
+allowed to fill); the paper's experiments issue batches directly, but
+its deployment story is an arrival stream at a master node.  This module
+provides seeded arrival processes for the examples, benchmarks, and
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query arrival."""
+
+    sql: str
+    time_s: float
+
+
+def poisson_arrivals(queries: list[str], mean_interarrival_s: float,
+                     seed: int = 0, start_s: float = 0.0) -> list[Arrival]:
+    """Exponential inter-arrival times (a Poisson process)."""
+    if mean_interarrival_s <= 0:
+        raise ValueError("mean_interarrival_s must be positive")
+    rng = np.random.default_rng(seed)
+    now = start_s
+    out: list[Arrival] = []
+    for sql in queries:
+        now += float(rng.exponential(mean_interarrival_s))
+        out.append(Arrival(sql, now))
+    return out
+
+
+def uniform_arrivals(queries: list[str], interarrival_s: float,
+                     start_s: float = 0.0) -> list[Arrival]:
+    """Evenly spaced arrivals (closed-loop clients with fixed think
+    time, the deterministic limit of the Poisson stream)."""
+    if interarrival_s <= 0:
+        raise ValueError("interarrival_s must be positive")
+    return [
+        Arrival(sql, start_s + (i + 1) * interarrival_s)
+        for i, sql in enumerate(queries)
+    ]
+
+
+def bursty_arrivals(queries: list[str], burst_size: int,
+                    burst_gap_s: float, within_burst_s: float = 0.01,
+                    start_s: float = 0.0) -> list[Arrival]:
+    """Clients arriving in bursts separated by quiet gaps -- the shape
+    under which a threshold batch policy fires immediately."""
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_gap_s < 0 or within_burst_s < 0:
+        raise ValueError("gaps must be non-negative")
+    out: list[Arrival] = []
+    now = start_s
+    for i, sql in enumerate(queries):
+        if i and i % burst_size == 0:
+            now += burst_gap_s
+        else:
+            now += within_burst_s
+        out.append(Arrival(sql, now))
+    return out
+
+
+def drain_through_queue(arrivals: list[Arrival], queue) -> list:
+    """Feed arrivals into a :class:`~repro.core.qed.queue.QueryQueue`;
+    returns the dispatched batches (a trailing partial batch stays
+    queued, as in a live system)."""
+    batches = []
+    for arrival in arrivals:
+        batch = queue.submit(arrival.sql, arrival.time_s)
+        if batch is not None:
+            batches.append(batch)
+    return batches

@@ -1,0 +1,44 @@
+"""Client-side cost model (the paper's Java/JDBC applications).
+
+The paper's clients fetch results through JDBC and, for QED, split the
+merged result back into per-query results in application logic (with
+that time and energy explicitly counted).  Fetching and materializing a
+row in a JDBC-style client costs far more cycles than scanning it inside
+the engine, and -- crucially for QED's energy numbers -- runs at a low
+duty cycle, so SpeedStep (our DVFS governor) drops the CPU to a lower
+p-state during client-heavy phases, reducing power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.results import QueryResult
+from repro.hardware.trace import ClientWork, Trace
+
+
+@dataclass(frozen=True)
+class ClientModel:
+    """Cycle costs of the client application."""
+
+    cycles_per_row_fetch: float = 18_000.0
+    cycles_per_row_split: float = 12_000.0
+    per_query_overhead_cycles: float = 5e6
+    utilization: float = 0.5
+
+    def fetch_work(self, rows: int, label: str = "client:fetch"
+                   ) -> ClientWork:
+        """Fetching + materializing ``rows`` result rows."""
+        cycles = self.per_query_overhead_cycles + rows * self.cycles_per_row_fetch
+        return ClientWork(cycles, self.utilization, label)
+
+    def split_work(self, rows: int, label: str = "client:split"
+                   ) -> ClientWork:
+        """QED result splitting: routing ``rows`` merged rows."""
+        return ClientWork(
+            rows * self.cycles_per_row_split, self.utilization, label
+        )
+
+    def trace_for_result(self, result: QueryResult,
+                         label: str = "client:fetch") -> Trace:
+        return Trace([self.fetch_work(result.row_count, label)])

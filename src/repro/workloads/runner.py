@@ -1,0 +1,106 @@
+"""Workload runner: execute queries, build traces, play them on the SUT.
+
+The runner is the glue for every experiment: it executes each query for
+real in the database, appends the client-side fetch work, concatenates
+the per-query traces into a workload trace, and plays it on the
+simulated machine under the current PVC setting.  Per-query completion
+times fall out of the per-query sub-measurements, which the QED
+experiment uses for response-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.engine import Database
+from repro.db.results import QueryResult
+from repro.hardware.system import RunMeasurement, SystemUnderTest
+from repro.hardware.trace import Trace
+from repro.workloads.client import ClientModel
+
+
+@dataclass
+class QueryExecution:
+    """One executed query: its result and its hardware work trace."""
+
+    sql: str
+    result: QueryResult
+    trace: Trace
+
+
+@dataclass
+class WorkloadMeasurement:
+    """A played workload: totals plus per-query measurements."""
+
+    total: RunMeasurement
+    per_query: list[RunMeasurement] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.total.duration_s
+
+    @property
+    def cpu_joules(self) -> float:
+        return self.total.cpu_joules
+
+    @property
+    def completion_times_s(self) -> list[float]:
+        """Completion time of each query, measured from workload start."""
+        out: list[float] = []
+        elapsed = 0.0
+        for m in self.per_query:
+            elapsed += m.duration_s
+            out.append(elapsed)
+        return out
+
+    @property
+    def mean_completion_s(self) -> float:
+        times = self.completion_times_s
+        return sum(times) / len(times) if times else 0.0
+
+
+class WorkloadRunner:
+    """Runs SQL workloads against a database on a simulated machine."""
+
+    def __init__(
+        self,
+        db: Database,
+        sut: SystemUnderTest,
+        client: ClientModel | None = None,
+        include_client_work: bool = True,
+    ):
+        self.db = db
+        self.sut = sut
+        self.client = client if client is not None else ClientModel()
+        self.include_client_work = include_client_work
+
+    def execute_query(self, sql: str, label: str = "query"
+                      ) -> QueryExecution:
+        """Execute one query and assemble its full work trace."""
+        result = self.db.execute(sql)
+        trace = self.db.trace_for(result, label=label)
+        if self.include_client_work:
+            trace.extend(self.client.trace_for_result(
+                result, label=f"{label}:client"
+            ))
+        return QueryExecution(sql, result, trace)
+
+    def run_queries(self, queries: list[str], label: str = "q"
+                    ) -> WorkloadMeasurement:
+        """Execute and play each query back-to-back (think time zero)."""
+        per_query: list[RunMeasurement] = []
+        total: RunMeasurement | None = None
+        for i, sql in enumerate(queries):
+            execution = self.execute_query(sql, label=f"{label}{i}")
+            measurement = self.sut.run(
+                execution.trace, self.db.workload_class
+            )
+            per_query.append(measurement)
+            total = measurement if total is None else total + measurement
+        if total is None:
+            raise ValueError("workload must contain at least one query")
+        return WorkloadMeasurement(total=total, per_query=per_query)
+
+    def run_trace(self, trace: Trace) -> RunMeasurement:
+        """Play a pre-built trace under the current setting."""
+        return self.sut.run(trace, self.db.workload_class)

@@ -1,0 +1,64 @@
+"""The QED selection workload (paper Section 4).
+
+Single-table selections over ``lineitem``, each with a 2% selectivity
+equality predicate on ``l_quantity`` (uniform over 50 integer values).
+Every query in a workload uses a different value, so predicates never
+overlap up to a batch size of 50.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.tpch.schema import QUANTITY_MAX
+
+#: Columns the selection queries return to the client.
+SELECTION_COLUMNS = "l_orderkey, l_linenumber, l_quantity, l_extendedprice"
+
+
+def selection_query(quantity: int) -> str:
+    """One 2%-selectivity selection on l_quantity."""
+    if not 1 <= quantity <= QUANTITY_MAX:
+        raise ValueError(
+            f"quantity must be in 1..{QUANTITY_MAX}, got {quantity}"
+        )
+    return (
+        f"SELECT {SELECTION_COLUMNS} FROM lineitem "
+        f"WHERE l_quantity = {quantity}"
+    )
+
+
+@dataclass(frozen=True)
+class SelectionWorkload:
+    """A batch of non-overlapping selection queries."""
+
+    quantities: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.quantities)) != len(self.quantities):
+            raise ValueError("quantities must be distinct (no overlap)")
+        for q in self.quantities:
+            if not 1 <= q <= QUANTITY_MAX:
+                raise ValueError(f"quantity {q} out of range")
+
+    @property
+    def queries(self) -> list[str]:
+        return [selection_query(q) for q in self.quantities]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.quantities)
+
+
+def selection_workload(batch_size: int, start: int = 1
+                       ) -> SelectionWorkload:
+    """``batch_size`` distinct-quantity queries (paper uses 35..50)."""
+    if not 1 <= batch_size <= QUANTITY_MAX:
+        raise ValueError(
+            f"batch_size must be in 1..{QUANTITY_MAX}, got {batch_size}"
+        )
+    top = QUANTITY_MAX - start + 1
+    if batch_size > top:
+        raise ValueError("start leaves too few distinct quantities")
+    quantities = tuple(range(start, start + batch_size))
+    return SelectionWorkload(quantities)

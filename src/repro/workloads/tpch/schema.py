@@ -1,0 +1,147 @@
+"""TPC-H table schemas (the columns the benchmark queries touch).
+
+Wide free-text columns (``*_comment``, addresses, phones) are omitted:
+they contribute storage volume but no query semantics.  Their width is
+folded into the page-count estimates via the row-store row header so the
+I/O volumes stay realistic.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import ColumnDef, TableSchema
+from repro.db.types import DataType
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+#: nation -> region assignment (5 per region), following the TPC-H spec.
+NATION_REGIONS = [
+    0, 1, 1, 1, 4,
+    0, 3, 3, 2, 2,
+    4, 4, 2, 4, 0,
+    0, 0, 1, 2, 3,
+    4, 2, 3, 3, 1,
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["O", "F"]
+ORDER_STATUSES = ["O", "F", "P"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+#: Base cardinalities at scale factor 1.0.
+BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    # lineitem is derived: 1..7 lines per order, ~4 on average.
+}
+
+#: TPC-H date domain: orders span 1992-01-01 .. 1998-08-02.
+DATE_MIN = "1992-01-01"
+DATE_MAX = "1998-08-02"
+
+#: l_quantity is uniform over 1..50 (the QED workload's 2% selectivity).
+QUANTITY_MAX = 50
+
+
+def region_schema() -> TableSchema:
+    return TableSchema("region", [
+        ColumnDef("r_regionkey", DataType.INT64),
+        ColumnDef("r_name", DataType.STRING),
+    ])
+
+
+def nation_schema() -> TableSchema:
+    return TableSchema("nation", [
+        ColumnDef("n_nationkey", DataType.INT64),
+        ColumnDef("n_name", DataType.STRING),
+        ColumnDef("n_regionkey", DataType.INT64),
+    ])
+
+
+def supplier_schema() -> TableSchema:
+    return TableSchema("supplier", [
+        ColumnDef("s_suppkey", DataType.INT64),
+        ColumnDef("s_name", DataType.STRING),
+        ColumnDef("s_nationkey", DataType.INT64),
+        ColumnDef("s_acctbal", DataType.FLOAT64),
+    ])
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema("customer", [
+        ColumnDef("c_custkey", DataType.INT64),
+        ColumnDef("c_name", DataType.STRING),
+        ColumnDef("c_nationkey", DataType.INT64),
+        ColumnDef("c_acctbal", DataType.FLOAT64),
+        ColumnDef("c_mktsegment", DataType.STRING),
+    ])
+
+
+def part_schema() -> TableSchema:
+    return TableSchema("part", [
+        ColumnDef("p_partkey", DataType.INT64),
+        ColumnDef("p_brand", DataType.STRING),
+        ColumnDef("p_type", DataType.STRING),
+        ColumnDef("p_size", DataType.INT64),
+        ColumnDef("p_retailprice", DataType.FLOAT64),
+    ])
+
+
+def partsupp_schema() -> TableSchema:
+    return TableSchema("partsupp", [
+        ColumnDef("ps_partkey", DataType.INT64),
+        ColumnDef("ps_suppkey", DataType.INT64),
+        ColumnDef("ps_availqty", DataType.INT64),
+        ColumnDef("ps_supplycost", DataType.FLOAT64),
+    ])
+
+
+def orders_schema() -> TableSchema:
+    return TableSchema("orders", [
+        ColumnDef("o_orderkey", DataType.INT64),
+        ColumnDef("o_custkey", DataType.INT64),
+        ColumnDef("o_orderstatus", DataType.STRING),
+        ColumnDef("o_totalprice", DataType.FLOAT64),
+        ColumnDef("o_orderdate", DataType.DATE),
+        ColumnDef("o_orderpriority", DataType.STRING),
+    ])
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema("lineitem", [
+        ColumnDef("l_orderkey", DataType.INT64),
+        ColumnDef("l_partkey", DataType.INT64),
+        ColumnDef("l_suppkey", DataType.INT64),
+        ColumnDef("l_linenumber", DataType.INT64),
+        ColumnDef("l_quantity", DataType.INT64),
+        ColumnDef("l_extendedprice", DataType.FLOAT64),
+        ColumnDef("l_discount", DataType.FLOAT64),
+        ColumnDef("l_tax", DataType.FLOAT64),
+        ColumnDef("l_returnflag", DataType.STRING),
+        ColumnDef("l_linestatus", DataType.STRING),
+        ColumnDef("l_shipdate", DataType.DATE),
+        ColumnDef("l_commitdate", DataType.DATE),
+        ColumnDef("l_receiptdate", DataType.DATE),
+        ColumnDef("l_shipmode", DataType.STRING),
+    ])
+
+
+ALL_SCHEMAS = [
+    region_schema, nation_schema, supplier_schema, customer_schema,
+    part_schema, partsupp_schema, orders_schema, lineitem_schema,
+]

@@ -1,0 +1,51 @@
+"""Shared fixtures: small TPC-H databases and a calibrated machine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.db.profiles import commercial_profile, mysql_profile
+
+# Property tests share session-scoped database fixtures (cheap, frozen)
+# and occasionally exceed the default 200 ms deadline on loaded CI
+# machines; disable the flakiness sources globally.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")
+from repro.hardware.profiles import paper_sut
+from repro.workloads.tpch.generator import generate_tpch, tpch_database
+from repro.workloads.tpch.queries import Q5_TABLES
+
+SMALL_SF = 0.01
+
+
+@pytest.fixture(scope="session")
+def tpch_tables():
+    """Raw generated tables at SF 0.01 (read-only; do not mutate)."""
+    return generate_tpch(SMALL_SF, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mysql_db():
+    """Memory-engine TPC-H database at SF 0.01."""
+    return tpch_database(SMALL_SF, mysql_profile(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def commercial_db():
+    """Disk-engine TPC-H database at SF 0.01, warmed."""
+    db = tpch_database(
+        SMALL_SF, commercial_profile(SMALL_SF), seed=0, tables=Q5_TABLES
+    )
+    db.warm()
+    return db
+
+
+@pytest.fixture()
+def sut():
+    """A fresh calibrated system under test (stock setting)."""
+    return paper_sut()

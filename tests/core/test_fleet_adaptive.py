@@ -1,0 +1,161 @@
+"""Global fleet placement and mid-flight adaptive PVC control."""
+
+import pytest
+
+from repro.core.fleet import Fleet, Placement, ServerSpec, server_from_sut
+from repro.core.pvc.adaptive import (
+    AdaptiveController,
+    DEFAULT_LADDER,
+)
+from repro.hardware.cpu import STOCK_SETTING
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import selection_query
+
+
+def _fleet(n: int = 4) -> Fleet:
+    return Fleet([
+        ServerSpec(f"s{i}", idle_wall_w=70.0, busy_wall_w=110.0)
+        for i in range(n)
+    ])
+
+
+class TestServerSpec:
+    def test_linear_power(self):
+        spec = ServerSpec("x", 70.0, 110.0)
+        assert spec.power_at(0.0) == 70.0
+        assert spec.power_at(1.0) == 110.0
+        assert spec.power_at(0.5) == 90.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerSpec("x", 100.0, 50.0)
+        with pytest.raises(ValueError):
+            ServerSpec("x", 70.0, 110.0, capacity=0)
+        with pytest.raises(ValueError):
+            ServerSpec("x", 70.0, 110.0).power_at(1.5)
+
+    def test_from_sut(self, sut):
+        spec = server_from_sut(sut)
+        assert spec.busy_wall_w > spec.idle_wall_w > spec.sleep_wall_w
+
+
+class TestFleetPlacement:
+    def test_spread_even(self):
+        fleet = _fleet(4)
+        placement = fleet.spread(2.0)
+        assert all(
+            u == pytest.approx(0.5)
+            for u in placement.utilizations.values()
+        )
+
+    def test_consolidate_sleeps_servers(self):
+        fleet = _fleet(4)
+        placement = fleet.consolidate(1.0)
+        assert len(placement.awake_servers()) == 2  # 0.85 cap -> 2 hosts
+        assert max(placement.utilizations.values()) <= 0.85 + 1e-9
+
+    def test_consolidation_saves_at_low_load(self):
+        """Paper Sec. 2: 'moving to higher utilization can save energy'
+        because idle servers are so far from energy-proportional."""
+        fleet = _fleet(8)
+        assert fleet.consolidation_saving(1.0) > 0.4
+
+    def test_no_saving_at_full_load(self):
+        fleet = _fleet(4)
+        # beyond the cap, consolidate falls back to spread
+        assert fleet.consolidation_saving(4.0) == pytest.approx(0.0)
+
+    def test_load_conserved(self):
+        fleet = _fleet(4)
+        for load in (0.5, 1.7, 3.0):
+            for placement in (fleet.spread(load),
+                              fleet.consolidate(load)):
+                placed = sum(
+                    u * fleet.servers[name].capacity
+                    for name, u in placement.utilizations.items()
+                )
+                assert placed == pytest.approx(load)
+
+    def test_overload_rejected(self):
+        with pytest.raises(ValueError):
+            _fleet(2).spread(3.0)
+
+    def test_heterogeneous_fills_efficient_first(self):
+        fleet = Fleet([
+            ServerSpec("hog", 80.0, 160.0),
+            ServerSpec("sipper", 40.0, 80.0),
+        ])
+        placement = fleet.consolidate(0.5)
+        assert placement.awake_servers() == ["sipper"]
+
+    def test_energy_accounting(self):
+        fleet = _fleet(2)
+        placement = Placement({"s0": 1.0})  # s1 sleeps
+        assert fleet.wall_power_w(placement) == pytest.approx(
+            110.0 + 3.5
+        )
+        assert fleet.energy_j(placement, 10.0) == pytest.approx(1135.0)
+
+    def test_fleet_validation(self):
+        with pytest.raises(ValueError):
+            Fleet([])
+        with pytest.raises(ValueError):
+            Fleet([ServerSpec("a", 1, 2), ServerSpec("a", 1, 2)])
+
+
+class TestAdaptiveController:
+    @pytest.fixture()
+    def runner(self, mysql_db, sut) -> WorkloadRunner:
+        return WorkloadRunner(mysql_db, sut)
+
+    def _queries(self, n: int = 6) -> list[str]:
+        return [selection_query(i + 1) for i in range(n)]
+
+    def _stock_time(self, runner, queries) -> float:
+        runner.sut.apply_setting(STOCK_SETTING)
+        return runner.run_queries(queries).duration_s
+
+    def test_loose_deadline_runs_cheap(self, runner):
+        queries = self._queries()
+        stock = self._stock_time(runner, queries)
+        controller = AdaptiveController(runner)
+        outcome = controller.run(queries, deadline_s=stock * 2.0)
+        assert outcome.met_deadline
+        # Ample slack: every query runs at the cheapest ladder entry.
+        assert all(
+            s == DEFAULT_LADDER[-1] for s in outcome.settings_used
+        )
+
+    def test_tight_deadline_speeds_up(self, runner):
+        queries = self._queries()
+        stock = self._stock_time(runner, queries)
+        controller = AdaptiveController(runner)
+        # Feasible only near stock speed: the 5%-underclock ladder
+        # entries cost ~5% time each.
+        outcome = controller.run(queries, deadline_s=stock * 1.02)
+        assert STOCK_SETTING in outcome.settings_used
+        assert outcome.transitions >= 1
+
+    def test_cheap_run_saves_energy(self, runner):
+        queries = self._queries()
+        runner.sut.apply_setting(STOCK_SETTING)
+        stock_run = runner.run_queries(queries)
+        controller = AdaptiveController(runner)
+        outcome = controller.run(
+            queries, deadline_s=stock_run.duration_s * 2.0
+        )
+        assert outcome.cpu_joules < stock_run.total.cpu_joules
+
+    def test_restores_setting(self, runner):
+        controller = AdaptiveController(runner)
+        controller.run(self._queries(3), deadline_s=1e6)
+        assert runner.sut.setting == STOCK_SETTING
+
+    def test_validation(self, runner):
+        controller = AdaptiveController(runner)
+        with pytest.raises(ValueError):
+            controller.run([], deadline_s=1.0)
+        with pytest.raises(ValueError):
+            controller.run(self._queries(1), deadline_s=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveController(runner, ladder=[])

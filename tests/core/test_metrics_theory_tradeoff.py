@@ -1,0 +1,141 @@
+"""Core metrics: EDP algebra, iso-EDP, Pareto, theory, tradeoff curves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    OperatingPoint,
+    RatioPoint,
+    edp,
+    iso_edp_curve,
+    pareto_front,
+)
+from repro.core.theory import (
+    circuit_power_w,
+    edp_proportional,
+    theoretical_edp_ratio,
+    theoretical_edp_series,
+)
+from repro.core.tradeoff import TradeoffCurve
+from repro.hardware.cpu import (
+    PvcSetting,
+    VoltageDowngrade,
+    e8500_like_spec,
+)
+from repro.hardware.profiles import build_voltage_table, pvc_settings_grid
+from repro.hardware.system import CPU_BOUND
+
+
+class TestEdp:
+    def test_product(self):
+        assert edp(10.0, 2.0) == 20.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 2.0)
+
+    @given(e=st.floats(0.01, 100), t=st.floats(0.01, 100))
+    def test_symmetry_scale(self, e, t):
+        assert edp(e, t) == pytest.approx(edp(t, e))
+
+
+class TestRatioPoints:
+    def test_ratios(self):
+        base = OperatingPoint("stock", 10.0, 100.0)
+        point = OperatingPoint("a", 10.3, 51.0)
+        ratio = point.ratios_vs(base)
+        assert ratio.time_ratio == pytest.approx(1.03)
+        assert ratio.energy_ratio == pytest.approx(0.51)
+        assert ratio.edp_delta == pytest.approx(0.51 * 1.03 - 1)
+        assert ratio.below_iso_edp
+
+    def test_iso_edp_curve(self):
+        points = iso_edp_curve([0.5, 1.0, 2.0])
+        assert points == [(0.5, 2.0), (1.0, 1.0), (2.0, 0.5)]
+        with pytest.raises(ValueError):
+            iso_edp_curve([0.0])
+
+    def test_pareto_front(self):
+        points = [
+            RatioPoint("a", 1.0, 1.0),
+            RatioPoint("b", 1.1, 0.6),    # on the front
+            RatioPoint("c", 1.2, 0.7),    # dominated by b
+            RatioPoint("d", 1.05, 0.9),   # front
+        ]
+        front = {p.label for p in pareto_front(points)}
+        assert "b" in front and "c" not in front
+
+
+class TestTheory:
+    def test_circuit_power(self):
+        assert circuit_power_w(1e-9, 1.0, 3e9) == pytest.approx(3.0)
+
+    def test_edp_ratio_definition(self):
+        ratio = theoretical_edp_ratio(1.0, 2.85e9, 1.25, 3.0e9)
+        expected = (1.0 ** 2 / 2.85e9) / (1.25 ** 2 / 3.0e9)
+        assert ratio == pytest.approx(expected)
+
+    def test_lower_voltage_lowers_edp(self):
+        base = edp_proportional(1.25, 3e9)
+        assert edp_proportional(1.10, 3e9) < base
+
+    def test_lower_frequency_raises_edp(self):
+        """Sec. 3.4: EDP ~ V^2/F worsens as F drops at fixed voltage --
+        why underclocking beyond 5% hurts."""
+        base = edp_proportional(1.25, 3e9)
+        assert edp_proportional(1.25, 2.55e9) > base
+
+    def test_series_tracks_calibrated_table(self):
+        """The theoretical series from calibrated voltages reproduces the
+        paper's Fig. 3/4 EDP ordering: medium 5% best, small 15% worst."""
+        spec = e8500_like_spec()
+        table = build_voltage_table(CPU_BOUND, spec)
+        settings = [
+            PvcSetting(pct, dg)
+            for dg in (VoltageDowngrade.SMALL, VoltageDowngrade.MEDIUM)
+            for pct in (5, 10, 15)
+        ]
+        series = {
+            (p.setting.downgrade, p.setting.underclock_pct): p.edp_ratio
+            for p in theoretical_edp_series(spec, settings, table)
+        }
+        med = [series[(VoltageDowngrade.MEDIUM, p)] for p in (5, 10, 15)]
+        small = [series[(VoltageDowngrade.SMALL, p)] for p in (5, 10, 15)]
+        assert med == sorted(med)      # worsens with deeper underclock
+        assert small == sorted(small)
+        assert med[0] < small[0]       # medium saves more
+        assert small[2] > 1.0          # small 15% is worse than stock
+
+
+class TestTradeoffCurve:
+    def _curve(self) -> TradeoffCurve:
+        base = OperatingPoint("stock", 10.0, 100.0)
+        curve = TradeoffCurve(baseline=base)
+        curve.add(OperatingPoint("A", 10.3, 51.0))
+        curve.add(OperatingPoint("B", 10.7, 58.0))
+        curve.add(OperatingPoint("C", 11.1, 70.0))
+        return curve
+
+    def test_ratio_for(self):
+        curve = self._curve()
+        assert curve.ratio_for("A").energy_ratio == pytest.approx(0.51)
+        with pytest.raises(KeyError):
+            curve.ratio_for("nope")
+
+    def test_best_by_edp_is_setting_a(self):
+        """Fig. 1: setting A dominates B and C."""
+        assert self._curve().best_by_edp().label == "A"
+
+    def test_interesting_points_below_iso_edp(self):
+        interesting = {p.label for p in self._curve().interesting_points()}
+        assert interesting == {"A", "B", "C"}
+
+    def test_rows(self):
+        rows = self._curve().rows()
+        assert rows[0][0] == "stock"
+        assert rows[0][1] == pytest.approx(1.0)
+
+    def test_grid_helper(self):
+        grid = pvc_settings_grid()
+        assert sum(1 for s in grid if s.is_stock) == 1
+        assert len(pvc_settings_grid(include_stock=False)) == 6

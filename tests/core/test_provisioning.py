@@ -1,0 +1,71 @@
+"""System-level QED accounting: the sleeping-server model."""
+
+import pytest
+
+from repro.core.qed.provisioning import (
+    ProvisioningOutcome,
+    SleepingServerModel,
+)
+from repro.hardware.profiles import paper_sut
+
+
+@pytest.fixture()
+def model(sut) -> SleepingServerModel:
+    return SleepingServerModel(sut)
+
+
+class TestOutcome:
+    def test_totals(self):
+        outcome = ProvisioningOutcome(
+            window_s=100.0, busy_s=20.0,
+            active_wall_j=2000.0, idle_wall_j=800.0,
+        )
+        assert outcome.total_wall_j == 2800.0
+        assert outcome.duty_cycle == pytest.approx(0.2)
+
+
+class TestSleepingServer:
+    def test_idle_wall_is_substantial(self, model):
+        """2008-era hardware: the idle machine draws ~70 W wall (Table 1
+        full system + disk) -- the energy-proportionality problem the
+        paper cites."""
+        assert 65.0 < model.idle_wall_w() < 90.0
+
+    def test_sleep_draws_far_less(self, model):
+        assert model.sleep_wall_w < model.idle_wall_w() / 10
+
+    def test_always_on_charges_idle_window(self, model):
+        outcome = model.always_on(100.0, 20.0, 2000.0)
+        assert outcome.idle_wall_j == pytest.approx(
+            80.0 * model.idle_wall_w()
+        )
+
+    def test_sleeper_charges_sleep_power(self, model):
+        outcome = model.sleep_between_batches(100.0, 20.0, 2000.0)
+        assert outcome.idle_wall_j == pytest.approx(
+            80.0 * model.sleep_wall_w
+        )
+
+    def test_system_saving_positive_at_low_duty(self, model):
+        """At low utilization (the data-center common case), sleeping
+        between batches saves a large share of whole-window energy even
+        if QED's active energy were no better."""
+        saving = model.system_saving(
+            window_s=600.0,
+            sequential_busy_s=60.0, sequential_wall_j=6000.0,
+            batched_busy_s=50.0, batched_wall_j=5000.0,
+        )
+        assert saving > 0.5
+
+    def test_saving_shrinks_at_high_duty(self, model):
+        low = model.system_saving(600.0, 60.0, 6000.0, 50.0, 5000.0)
+        high = model.system_saving(600.0, 540.0, 54000.0, 500.0, 50000.0)
+        assert high < low
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.always_on(0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            model.always_on(10.0, 20.0, 0.0)
+        with pytest.raises(ValueError):
+            SleepingServerModel(paper_sut(), sleep_wall_w=-1.0)

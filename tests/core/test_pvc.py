@@ -1,0 +1,136 @@
+"""PVC: controller, sweep, and the SLA advisor."""
+
+import pytest
+
+from repro.core.metrics import OperatingPoint
+from repro.core.pvc.advisor import OperatingPointAdvisor, Sla
+from repro.core.pvc.controller import (
+    PvcController,
+    UnstableSettingError,
+    check_stability,
+)
+from repro.core.pvc.sweep import PvcSweep
+from repro.core.tradeoff import TradeoffCurve
+from repro.hardware.cpu import PvcSetting, STOCK_SETTING, VoltageDowngrade
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import selection_query
+
+
+class TestController:
+    def test_apply_and_reset(self, sut):
+        controller = PvcController(sut)
+        setting = PvcSetting(5, VoltageDowngrade.MEDIUM)
+        controller.apply(setting)
+        assert sut.setting == setting
+        controller.reset()
+        assert sut.setting == STOCK_SETTING
+
+    def test_context_manager_restores(self, sut):
+        controller = PvcController(sut)
+        with controller.applied(PvcSetting(10, VoltageDowngrade.SMALL)):
+            assert sut.setting.underclock_pct == 10
+        assert sut.setting == STOCK_SETTING
+
+    def test_context_manager_restores_on_error(self, sut):
+        controller = PvcController(sut)
+        with pytest.raises(RuntimeError):
+            with controller.applied(PvcSetting(5)):
+                raise RuntimeError("boom")
+        assert sut.setting == STOCK_SETTING
+
+    def test_stability_envelope(self):
+        check_stability(PvcSetting(15, VoltageDowngrade.MEDIUM))
+        with pytest.raises(UnstableSettingError):
+            check_stability(PvcSetting(40))
+
+    def test_unstable_rejected_by_controller(self, sut):
+        controller = PvcController(sut)
+        with pytest.raises(UnstableSettingError):
+            controller.apply(PvcSetting(50))
+        assert sut.setting == STOCK_SETTING
+
+    def test_enforcement_can_be_disabled(self, sut):
+        controller = PvcController(sut, enforce_stability=False)
+        controller.apply(PvcSetting(50))
+        assert sut.setting.underclock_pct == 50
+
+
+class TestSweep:
+    def test_sweep_produces_full_curve(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        sweep = PvcSweep(runner, [selection_query(1)])
+        curve = sweep.run()
+        assert len(curve.all_points) == 7
+        labels = [p.label for p in curve.all_points]
+        assert labels[0] == "stock"
+
+    def test_sweep_restores_stock(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        PvcSweep(runner, [selection_query(1)]).run()
+        assert sut.setting == STOCK_SETTING
+
+    def test_all_downgraded_points_save_energy(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        curve = PvcSweep(runner, [selection_query(2)]).run()
+        for ratio in curve.ratios()[1:]:
+            assert ratio.energy_ratio < 1.0
+            assert ratio.time_ratio > 1.0
+
+
+def _paper_like_curve() -> TradeoffCurve:
+    base = OperatingPoint("stock", 48.5, 1228.7, STOCK_SETTING)
+    curve = TradeoffCurve(baseline=base)
+    curve.add(OperatingPoint(
+        "A", 50.0, 627.0, PvcSetting(5, VoltageDowngrade.MEDIUM)
+    ))
+    curve.add(OperatingPoint(
+        "B", 51.7, 714.0, PvcSetting(10, VoltageDowngrade.MEDIUM)
+    ))
+    curve.add(OperatingPoint(
+        "C", 53.6, 855.0, PvcSetting(15, VoltageDowngrade.MEDIUM)
+    ))
+    return curve
+
+
+class TestAdvisor:
+    def test_sla_admits_within_budget(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        chosen = advisor.choose(Sla(max_time_increase=0.05))
+        assert chosen.label == "A"
+
+    def test_tight_sla_keeps_stock(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        chosen = advisor.choose(Sla(max_time_increase=0.0))
+        assert chosen.label == "stock"
+
+    def test_loose_sla_still_prefers_lowest_energy(self):
+        """B and C cost more energy AND more time than A, so even a
+        loose SLA picks A (the paper's Fig. 1 argument)."""
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        chosen = advisor.choose(Sla(max_time_increase=0.5))
+        assert chosen.label == "A"
+
+    def test_peak_load_picks_fastest(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        chosen = advisor.choose_for_load(0.95, Sla(0.05))
+        assert chosen.label == "stock"
+
+    def test_off_peak_saves_energy(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        chosen = advisor.choose_for_load(0.30, Sla(0.05))
+        assert chosen.label == "A"
+
+    def test_savings_report(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        report = advisor.savings_report(Sla(0.05))
+        assert report["energy_delta"] == pytest.approx(-0.49, abs=0.01)
+        assert report["time_delta"] == pytest.approx(0.031, abs=0.01)
+
+    def test_sla_validation(self):
+        with pytest.raises(ValueError):
+            Sla(-0.1)
+
+    def test_invalid_load(self):
+        advisor = OperatingPointAdvisor(_paper_like_curve())
+        with pytest.raises(ValueError):
+            advisor.choose_for_load(1.5, Sla(0.05))

@@ -1,0 +1,112 @@
+"""QED aggregation and splitting: semantics must match per-query runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qed.aggregator import (
+    NotMergeableError,
+    merge_queries,
+)
+from repro.core.qed.splitter import split_cost_rows, split_result
+from repro.workloads.selection import selection_query, selection_workload
+
+
+class TestMergeValidation:
+    def test_merges_paper_workload(self):
+        merged = merge_queries(selection_workload(5).queries)
+        assert merged.batch_size == 5
+        assert merged.hash_routable
+        assert merged.routing_column == "l_quantity"
+        assert list(merged.routing_values) == [1, 2, 3, 4, 5]
+        assert " OR " in merged.sql
+
+    def test_empty_batch(self):
+        with pytest.raises(NotMergeableError):
+            merge_queries([])
+
+    def test_different_select_lists(self):
+        with pytest.raises(NotMergeableError):
+            merge_queries([
+                "SELECT a FROM t WHERE a = 1",
+                "SELECT b FROM t WHERE a = 2",
+            ])
+
+    def test_different_tables(self):
+        with pytest.raises(NotMergeableError):
+            merge_queries([
+                "SELECT a FROM t WHERE a = 1",
+                "SELECT a FROM u WHERE a = 2",
+            ])
+
+    def test_group_by_not_mergeable(self):
+        with pytest.raises(NotMergeableError):
+            merge_queries([
+                "SELECT a FROM t WHERE a = 1 GROUP BY a",
+                "SELECT a FROM t WHERE a = 2 GROUP BY a",
+            ])
+
+    def test_missing_where_not_mergeable(self):
+        with pytest.raises(NotMergeableError):
+            merge_queries(["SELECT a FROM t", "SELECT a FROM t WHERE a=1"])
+
+    def test_overlapping_predicates_deduped(self):
+        """The generalization: shared disjuncts appear once."""
+        merged = merge_queries([
+            selection_query(1), selection_query(2), selection_query(1),
+        ])
+        assert merged.batch_size == 3           # three original queries
+        assert merged.sql.count("l_quantity =") == 2  # two disjuncts
+
+    def test_range_predicates_merge_without_routing(self):
+        merged = merge_queries([
+            "SELECT a FROM t WHERE a < 5",
+            "SELECT a FROM t WHERE a > 10",
+        ])
+        assert not merged.hash_routable
+
+
+class TestMergedSemantics:
+    def test_merged_equals_union(self, mysql_db):
+        """The merged query returns exactly the union of the originals."""
+        wl = selection_workload(8)
+        merged = merge_queries(wl.queries)
+        merged_rows = mysql_db.execute(merged.sql).row_count
+        individual = sum(
+            mysql_db.execute(q).row_count for q in wl.queries
+        )
+        assert merged_rows == individual  # disjoint predicates
+
+    @given(batch=st.lists(
+        st.integers(min_value=1, max_value=50),
+        min_size=1, max_size=8, unique=True,
+    ))
+    @settings(max_examples=12, deadline=None)
+    def test_split_partitions_merged_result(self, mysql_db, batch):
+        """Property: splitting recovers each query's exact result."""
+        queries = [selection_query(q) for q in batch]
+        merged = merge_queries(queries)
+        result = mysql_db.execute(merged.sql)
+        outcome = split_result(merged, result)
+        assert outcome.unmatched_rows == 0
+        assert sum(outcome.per_query_rows) == result.row_count
+        for sql, part in zip(queries, outcome.results):
+            direct = mysql_db.execute(sql)
+            assert part.row_count == direct.row_count
+            assert sorted(part.rows()) == sorted(direct.rows())
+
+    def test_predicate_split_handles_overlap(self, mysql_db):
+        """With duplicate queries, both get the full result set."""
+        queries = [selection_query(3), selection_query(3)]
+        merged = merge_queries(queries)
+        result = mysql_db.execute(merged.sql)
+        outcome = split_result(merged, result)
+        direct = mysql_db.execute(selection_query(3)).row_count
+        # hash routing sends each row to the first matching query unless
+        # predicates overlap -- overlapping batches route by predicate.
+        assert sum(outcome.per_query_rows) >= direct
+
+    def test_split_cost_rows(self, mysql_db):
+        wl = selection_workload(4)
+        merged = merge_queries(wl.queries)
+        result = mysql_db.execute(merged.sql)
+        assert split_cost_rows(merged, result) == result.row_count

@@ -1,0 +1,79 @@
+"""QED batching policy and admission queue."""
+
+import pytest
+
+from repro.core.qed.policy import BatchPolicy, PAPER_POLICIES
+from repro.core.qed.queue import QueryQueue
+
+
+class TestBatchPolicy:
+    def test_threshold_dispatch(self):
+        policy = BatchPolicy(threshold=3)
+        assert not policy.should_dispatch(2, 100.0)
+        assert policy.should_dispatch(3, 0.0)
+
+    def test_timeout_dispatch(self):
+        policy = BatchPolicy(threshold=100, max_wait_s=5.0)
+        assert not policy.should_dispatch(1, 4.9)
+        assert policy.should_dispatch(1, 5.0)
+
+    def test_no_timeout_by_default(self):
+        policy = BatchPolicy(threshold=10)
+        assert not policy.should_dispatch(1, 1e9)
+
+    def test_empty_queue_never_dispatches(self):
+        assert not BatchPolicy(1).should_dispatch(0, 1e9)
+
+    def test_paper_policies(self):
+        assert [p.threshold for p in PAPER_POLICIES] == [35, 40, 45, 50]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(0)
+        with pytest.raises(ValueError):
+            BatchPolicy(1, max_wait_s=-1.0)
+
+
+class TestQueryQueue:
+    def test_fills_then_dispatches(self):
+        queue = QueryQueue(BatchPolicy(threshold=3))
+        assert queue.submit("q1", 0.0) is None
+        assert queue.submit("q2", 1.0) is None
+        batch = queue.submit("q3", 2.0)
+        assert batch is not None
+        assert batch.sqls == ["q1", "q2", "q3"]
+        assert len(queue) == 0
+
+    def test_queue_waits_recorded(self):
+        queue = QueryQueue(BatchPolicy(threshold=2))
+        queue.submit("q1", 0.0)
+        batch = queue.submit("q2", 4.0)
+        assert batch.queue_waits() == [4.0, 0.0]
+
+    def test_timeout_via_tick(self):
+        queue = QueryQueue(BatchPolicy(threshold=10, max_wait_s=2.0))
+        queue.submit("q1", 0.0)
+        assert queue.tick(1.0) is None
+        batch = queue.tick(2.5)
+        assert batch is not None and batch.size == 1
+
+    def test_flush(self):
+        queue = QueryQueue(BatchPolicy(threshold=100))
+        queue.submit("q1", 0.0)
+        queue.submit("q2", 0.5)
+        batch = queue.flush(1.0)
+        assert batch.size == 2
+        assert queue.flush(2.0) is None
+
+    def test_dispatch_history(self):
+        queue = QueryQueue(BatchPolicy(threshold=1))
+        queue.submit("a", 0.0)
+        queue.submit("b", 1.0)
+        assert len(queue.dispatched) == 2
+
+    def test_query_ids_monotone(self):
+        queue = QueryQueue(BatchPolicy(threshold=2))
+        queue.submit("a", 0.0)
+        batch = queue.submit("b", 0.0)
+        ids = [q.query_id for q in batch.queries]
+        assert ids == [0, 1]

@@ -1,0 +1,189 @@
+"""CASE WHEN expressions and OR common-factor extraction (Q12/Q14/Q19)."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.errors import SqlSyntaxError
+from repro.db.exec.stats import ExprCounters
+from repro.db.expr import Batch, evaluate_scalar
+from repro.db.plan.logical import factor_common_conjuncts
+from repro.db.profiles import mysql_profile
+from repro.db.schema import ColumnDef, TableSchema
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_expression
+from repro.db.types import Column, DataType
+
+
+def _batch() -> Batch:
+    return Batch({
+        "t.x": Column.from_values(DataType.INT64, [1, 2, 3, 4, 5]),
+        "t.s": Column.from_values(DataType.STRING,
+                                  ["a", "b", "a", "c", "a"]),
+    }, 5)
+
+
+class TestCaseExpression:
+    def test_parse_and_round_trip(self):
+        expr = parse_expression(
+            "CASE WHEN x > 3 THEN 1 WHEN x > 1 THEN 2 ELSE 0 END"
+        )
+        assert isinstance(expr, ast.CaseWhen)
+        assert len(expr.whens) == 2
+        assert parse_expression(expr.to_sql()) == expr
+
+    def test_case_without_else_defaults_to_zero(self):
+        counters = ExprCounters()
+        values = evaluate_scalar(
+            parse_expression("CASE WHEN t.x > 3 THEN 7 END"),
+            _batch(), counters,
+        )
+        assert list(values) == [0, 0, 0, 7, 7]
+
+    def test_first_matching_branch_wins(self):
+        counters = ExprCounters()
+        values = evaluate_scalar(
+            parse_expression(
+                "CASE WHEN t.x > 1 THEN 10 WHEN t.x > 3 THEN 20 "
+                "ELSE 30 END"
+            ),
+            _batch(), counters,
+        )
+        assert list(values) == [30, 10, 10, 10, 10]
+
+    def test_branch_conditions_short_circuit_accounting(self):
+        counters = ExprCounters()
+        evaluate_scalar(
+            parse_expression(
+                "CASE WHEN t.x > 3 THEN 1 WHEN t.s = 'a' THEN 2 END"
+            ),
+            _batch(), counters,
+        )
+        # first condition on 5 rows; second only on the 3 non-matching
+        assert counters.comparisons == 5 + 3
+
+    def test_case_needs_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_nested_case_values(self):
+        counters = ExprCounters()
+        values = evaluate_scalar(
+            parse_expression(
+                "CASE WHEN t.x > 2 THEN t.x * 10 ELSE t.x END"
+            ),
+            _batch(), counters,
+        )
+        assert list(values) == [1, 2, 30, 40, 50]
+
+
+class TestCaseInQueries:
+    @pytest.fixture()
+    def db(self) -> Database:
+        db = Database(mysql_profile())
+        db.create_table(
+            TableSchema("t", [
+                ColumnDef("g", DataType.STRING),
+                ColumnDef("v", DataType.INT64),
+            ]),
+            {"g": ["a", "a", "b", "b", "b"], "v": [1, 5, 2, 8, 3]},
+        )
+        return db
+
+    def test_sum_of_case(self, db):
+        result = db.execute(
+            "SELECT g, SUM(CASE WHEN v > 2 THEN 1 ELSE 0 END) AS big "
+            "FROM t GROUP BY g ORDER BY g"
+        )
+        assert result.rows() == [("a", 1.0), ("b", 2.0)]
+
+    def test_case_ratio_of_aggregates(self, db):
+        result = db.execute(
+            "SELECT 100.0 * SUM(CASE WHEN v > 2 THEN v ELSE 0 END) "
+            "/ SUM(v) AS pct FROM t"
+        )
+        assert result.scalar() == pytest.approx(100.0 * 16 / 19)
+
+    def test_case_in_projection(self, db):
+        result = db.execute(
+            "SELECT CASE WHEN v > 4 THEN 1 ELSE 0 END AS flag "
+            "FROM t ORDER BY v"
+        )
+        assert [r[0] for r in result.rows()] == [0, 0, 0, 1, 1]
+
+
+class TestCommonFactorExtraction:
+    def test_factoring_identity(self):
+        expr = parse_expression(
+            "(a = b AND x > 1) OR (a = b AND y > 2)"
+        )
+        factored = factor_common_conjuncts(expr)
+        conjuncts = ast.conjuncts(factored)
+        assert parse_expression("a = b") in conjuncts
+        assert len(conjuncts) == 2
+
+    def test_no_common_factor_unchanged(self):
+        expr = parse_expression("(x > 1) OR (y > 2)")
+        assert factor_common_conjuncts(expr) == expr
+
+    def test_single_disjunct_unchanged(self):
+        expr = parse_expression("a = b AND x > 1")
+        assert factor_common_conjuncts(expr) == expr
+
+    def test_all_common_drops_or_entirely(self):
+        expr = parse_expression("(a = b) OR (a = b)")
+        assert factor_common_conjuncts(expr) == parse_expression("a = b")
+
+
+class TestNewQueriesSemantics:
+    def test_q12_counts_partition_rows(self, mysql_db):
+        from repro.workloads.tpch.queries import q12
+        result = mysql_db.execute(q12())
+        for _, high, low in result.rows():
+            assert high >= 0 and low >= 0
+        # high + low per mode equals the plain count for the same preds
+        plain = mysql_db.execute(
+            "SELECT l_shipmode, COUNT(*) AS n "
+            "FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey "
+            "AND l_shipmode IN ('MAIL', 'SHIP') "
+            "AND l_commitdate < l_receiptdate "
+            "AND l_shipdate < l_commitdate "
+            "AND l_receiptdate >= DATE '1994-01-01' "
+            "AND l_receiptdate < DATE '1995-01-01' "
+            "GROUP BY l_shipmode ORDER BY l_shipmode"
+        )
+        for (mode, high, low), (mode2, n) in zip(
+            result.rows(), plain.rows()
+        ):
+            assert mode == mode2
+            assert high + low == n
+
+    def test_q14_between_0_and_100(self, mysql_db):
+        from repro.workloads.tpch.queries import q14
+        value = mysql_db.execute(q14()).scalar()
+        assert 0.0 < value < 100.0
+
+    def test_q19_equals_sum_of_branches(self, mysql_db):
+        """The factored disjunction returns exactly the sum of its
+        (disjoint) branches run separately."""
+        from repro.workloads.tpch.queries import q19
+        total = mysql_db.execute(q19()).scalar()
+        branch_sqls = [
+            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS r "
+            "FROM lineitem, part WHERE p_partkey = l_partkey "
+            f"AND p_brand = '{brand}' AND l_quantity >= {lo} "
+            f"AND l_quantity <= {lo + 10} AND p_size BETWEEN 1 AND {hi}"
+            for brand, lo, hi in (
+                ("Brand#12", 1, 5), ("Brand#23", 10, 10),
+                ("Brand#34", 20, 15),
+            )
+        ]
+        parts = [mysql_db.execute(sql).scalar() for sql in branch_sqls]
+        # Branches overlap only if a row satisfies two brands at once --
+        # impossible (one brand per part), so the sum matches.
+        assert total == pytest.approx(sum(parts), rel=1e-9)
+
+    def test_q19_plan_has_equi_join(self, mysql_db):
+        from repro.workloads.tpch.queries import q19
+        text = mysql_db.explain(q19())
+        assert "HashJoin" in text

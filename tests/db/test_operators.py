@@ -1,0 +1,208 @@
+"""Operator correctness against brute-force references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.engine import Database
+from repro.db.exec.operators import join_indices
+from repro.db.profiles import mysql_profile
+from repro.db.schema import ColumnDef, TableSchema
+from repro.db.types import DataType
+
+
+class TestJoinIndices:
+    def test_simple(self):
+        build = np.array([1, 2, 3])
+        probe = np.array([2, 3, 4])
+        b, p = join_indices(build, probe)
+        pairs = sorted(zip(build[b], probe[p]))
+        assert pairs == [(2, 2), (3, 3)]
+
+    def test_duplicates_on_build_side(self):
+        build = np.array([5, 5, 7])
+        probe = np.array([5, 7, 7])
+        b, p = join_indices(build, probe)
+        pairs = sorted(zip(build[b], probe[p]))
+        assert pairs == [(5, 5), (5, 5), (7, 7), (7, 7)]
+
+    def test_empty_result(self):
+        b, p = join_indices(np.array([1]), np.array([2]))
+        assert len(b) == 0 and len(p) == 0
+
+    @given(
+        build=st.lists(st.integers(0, 8), max_size=30),
+        probe=st.lists(st.integers(0, 8), max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_matches_nested_loop(self, build, probe):
+        """join_indices produces exactly the nested-loop pair multiset."""
+        build_arr = np.asarray(build, dtype=np.int64)
+        probe_arr = np.asarray(probe, dtype=np.int64)
+        b, p = join_indices(build_arr, probe_arr)
+        got = sorted(zip(b.tolist(), p.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, bv in enumerate(build)
+            for j, pv in enumerate(probe)
+            if bv == pv
+        )
+        assert got == expected
+
+
+@pytest.fixture()
+def db() -> Database:
+    rng = np.random.default_rng(7)
+    db = Database(mysql_profile())
+    n = 500
+    db.create_table(
+        TableSchema("facts", [
+            ColumnDef("id", DataType.INT64),
+            ColumnDef("grp", DataType.STRING),
+            ColumnDef("val", DataType.FLOAT64),
+            ColumnDef("qty", DataType.INT64),
+        ]),
+        {
+            "id": list(range(n)),
+            "grp": [f"g{i % 7}" for i in range(n)],
+            "val": rng.uniform(0, 100, n).round(3).tolist(),
+            "qty": rng.integers(1, 50, n).tolist(),
+        },
+    )
+    db.create_table(
+        TableSchema("dims", [
+            ColumnDef("grp", DataType.STRING),
+            ColumnDef("weight", DataType.FLOAT64),
+        ]),
+        {
+            "grp": [f"g{i}" for i in range(7)],
+            "weight": [float(i + 1) for i in range(7)],
+        },
+    )
+    return db
+
+
+def rows_of(db: Database, table: str) -> list[tuple]:
+    t = db.catalog.table(table)
+    return [t.row(i) for i in range(t.row_count)]
+
+
+class TestAggregates:
+    def test_sum_count_avg_min_max_vs_python(self, db):
+        result = db.execute(
+            "SELECT grp, SUM(val) AS s, COUNT(*) AS n, AVG(val) AS a, "
+            "MIN(val) AS mn, MAX(val) AS mx FROM facts GROUP BY grp "
+            "ORDER BY grp"
+        )
+        facts = rows_of(db, "facts")
+        by_group: dict[str, list[float]] = {}
+        for _, grp, val, _ in facts:
+            by_group.setdefault(grp, []).append(val)
+        expected = []
+        for grp in sorted(by_group):
+            vals = by_group[grp]
+            expected.append((
+                grp, sum(vals), len(vals), sum(vals) / len(vals),
+                min(vals), max(vals),
+            ))
+        for got, want in zip(result.rows(), expected):
+            assert got[0] == want[0]
+            assert got[1] == pytest.approx(want[1])
+            assert got[2] == want[2]
+            assert got[3] == pytest.approx(want[3])
+            assert got[4] == pytest.approx(want[4])
+            assert got[5] == pytest.approx(want[5])
+
+    def test_global_aggregate(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM facts")
+        assert result.scalar() == 500
+
+    def test_global_aggregate_on_empty_selection(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) AS n, SUM(val) AS s FROM facts "
+            "WHERE val < -1"
+        )
+        rows = result.rows()
+        assert rows[0][0] == 0
+        assert rows[0][1] == 0.0
+
+    def test_aggregate_of_expression(self, db):
+        result = db.execute(
+            "SELECT SUM(val * 2) AS s FROM facts"
+        )
+        facts = rows_of(db, "facts")
+        assert result.scalar() == pytest.approx(
+            sum(2 * r[2] for r in facts)
+        )
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT grp, COUNT(*) AS n FROM facts GROUP BY grp "
+            "HAVING COUNT(*) > 70 ORDER BY grp"
+        )
+        for _, n in result.rows():
+            assert n > 70
+
+
+class TestJoins:
+    def test_join_vs_python(self, db):
+        result = db.execute(
+            "SELECT f.id, d.weight FROM facts f, dims d "
+            "WHERE f.grp = d.grp AND f.val > 90 ORDER BY f.id"
+        )
+        facts = rows_of(db, "facts")
+        dims = {g: w for g, w in rows_of(db, "dims")}
+        expected = sorted(
+            (fid, dims[grp])
+            for fid, grp, val, _ in facts if val > 90
+        )
+        got = [(r[0], r[1]) for r in result.rows()]
+        assert got == expected
+
+    def test_join_then_aggregate(self, db):
+        result = db.execute(
+            "SELECT d.weight, SUM(f.val) AS s FROM facts f, dims d "
+            "WHERE f.grp = d.grp GROUP BY d.weight ORDER BY d.weight"
+        )
+        facts = rows_of(db, "facts")
+        dims = {g: w for g, w in rows_of(db, "dims")}
+        expected: dict[float, float] = {}
+        for _, grp, val, _ in facts:
+            expected[dims[grp]] = expected.get(dims[grp], 0.0) + val
+        for weight, total in result.rows():
+            assert total == pytest.approx(expected[weight])
+
+
+class TestSortDistinctLimit:
+    def test_multi_key_sort(self, db):
+        result = db.execute(
+            "SELECT grp, qty, id FROM facts ORDER BY grp, qty DESC, id"
+        )
+        rows = result.rows()
+        keys = [(g, -q, i) for g, q, i in rows]
+        assert keys == sorted(keys)
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT grp FROM facts")
+        values = sorted(r[0] for r in result.rows())
+        assert values == [f"g{i}" for i in range(7)]
+
+    def test_limit(self, db):
+        result = db.execute(
+            "SELECT id FROM facts ORDER BY id LIMIT 3"
+        )
+        assert [r[0] for r in result.rows()] == [0, 1, 2]
+
+    def test_limit_larger_than_result(self, db):
+        result = db.execute(
+            "SELECT id FROM facts WHERE id < 2 LIMIT 100"
+        )
+        assert result.row_count == 2
+
+    def test_order_by_expression_in_select(self, db):
+        result = db.execute(
+            "SELECT id, val * qty AS score FROM facts "
+            "ORDER BY score DESC LIMIT 5"
+        )
+        scores = [r[1] for r in result.rows()]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,157 @@
+"""Column types, dictionary encoding, schemas, tables."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.db.errors import CatalogError, TypeMismatchError
+from repro.db.schema import ColumnDef, Table, TableSchema
+from repro.db.types import (
+    Column,
+    DataType,
+    date_to_days,
+    days_to_date,
+    literal_to_comparable,
+)
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_round_trip(self):
+        for iso in ("1992-01-01", "1998-08-02", "2026-06-13"):
+            days = date_to_days(iso)
+            assert days_to_date(days).isoformat() == iso
+
+    def test_date_object(self):
+        assert date_to_days(datetime.date(1970, 1, 2)) == 1
+
+
+class TestColumn:
+    def test_int_column(self):
+        col = Column.from_values(DataType.INT64, [3, 1, 2])
+        assert col.raw().dtype == np.int64
+        assert list(col.values()) == [3, 1, 2]
+
+    def test_string_dictionary_encoding(self):
+        col = Column.from_values(DataType.STRING, ["a", "b", "a", "c", "b"])
+        assert col.dictionary == ["a", "b", "c"]
+        assert list(col.raw()) == [0, 1, 0, 2, 1]
+        assert list(col.values()) == ["a", "b", "a", "c", "b"]
+
+    def test_code_for(self):
+        col = Column.from_values(DataType.STRING, ["x", "y"])
+        assert col.code_for("y") == 1
+        assert col.code_for("missing") == -1
+
+    def test_code_for_rejects_non_string(self):
+        col = Column.from_values(DataType.INT64, [1])
+        with pytest.raises(TypeMismatchError):
+            col.code_for("x")
+
+    def test_date_column_accepts_iso_strings(self):
+        col = Column.from_values(DataType.DATE, ["1994-01-01", "1994-01-02"])
+        assert col.raw()[1] - col.raw()[0] == 1
+        assert col.values()[0] == datetime.date(1994, 1, 1)
+
+    def test_take_preserves_dictionary(self):
+        col = Column.from_values(DataType.STRING, ["a", "b", "c"])
+        taken = col.take(np.array([2, 0]))
+        assert list(taken.values()) == ["c", "a"]
+        assert taken.dictionary is col.dictionary
+
+    def test_string_requires_dictionary(self):
+        with pytest.raises(TypeMismatchError):
+            Column(DataType.STRING, np.array([0]))
+        with pytest.raises(TypeMismatchError):
+            Column(DataType.INT64, np.array([0]), dictionary=["x"])
+
+    def test_literal_to_comparable(self):
+        scol = Column.from_values(DataType.STRING, ["a"])
+        assert literal_to_comparable(scol, "a") == 0
+        dcol = Column.from_values(DataType.DATE, ["1970-01-02"])
+        assert literal_to_comparable(dcol, "1970-01-03") == 2
+        icol = Column.from_values(DataType.INT64, [1])
+        with pytest.raises(TypeMismatchError):
+            literal_to_comparable(icol, "not a number")
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [
+                ColumnDef("a", DataType.INT64),
+                ColumnDef("a", DataType.INT64),
+            ])
+
+    def test_invalid_column_name(self):
+        with pytest.raises(CatalogError):
+            ColumnDef("not a name", DataType.INT64)
+
+    def test_column_lookup(self):
+        schema = TableSchema("t", [ColumnDef("a", DataType.INT64)])
+        assert schema.column("a").dtype is DataType.INT64
+        assert schema.has_column("a")
+        assert not schema.has_column("b")
+        with pytest.raises(CatalogError):
+            schema.column("b")
+
+    def test_row_width(self):
+        schema = TableSchema("t", [
+            ColumnDef("a", DataType.INT64),
+            ColumnDef("b", DataType.STRING),
+            ColumnDef("c", DataType.DATE),
+        ])
+        assert schema.row_width_bytes == 8 + 16 + 4 + 8
+
+
+class TestTable:
+    def _schema(self):
+        return TableSchema("t", [
+            ColumnDef("k", DataType.INT64),
+            ColumnDef("s", DataType.STRING),
+        ])
+
+    def test_from_arrays(self):
+        table = Table.from_arrays(
+            self._schema(), {"k": [1, 2], "s": ["x", "y"]}
+        )
+        assert table.row_count == 2
+        assert table.row(1) == (2, "y")
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_arrays(self._schema(), {"k": [1, 2]})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_arrays(
+                self._schema(), {"k": [1, 2], "s": ["x"]}
+            )
+
+    def test_dtype_mismatch_rejected(self):
+        schema = self._schema()
+        cols = {
+            "k": Column.from_values(DataType.FLOAT64, [1.0]),
+            "s": Column.from_values(DataType.STRING, ["x"]),
+        }
+        with pytest.raises(TypeMismatchError):
+            Table(schema, cols)
+
+    def test_select_rows_mask_and_indices(self):
+        table = Table.from_arrays(
+            self._schema(), {"k": [1, 2, 3], "s": ["a", "b", "c"]}
+        )
+        by_mask = table.select_rows(np.array([True, False, True]))
+        assert [r[0] for r in map(table.row, range(3))] == [1, 2, 3]
+        assert by_mask.row_count == 2
+        by_idx = table.select_rows(np.array([2]))
+        assert by_idx.row(0) == (3, "c")
+
+    def test_size_bytes(self):
+        table = Table.from_arrays(
+            self._schema(), {"k": [1, 2], "s": ["a", "b"]}
+        )
+        assert table.size_bytes == 2 * table.schema.row_width_bytes

@@ -1,0 +1,167 @@
+"""CPU model: p-states, underclocking, voltage, power."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cpu import (
+    Cpu,
+    CpuSpec,
+    EffectiveVoltageTable,
+    PState,
+    PvcSetting,
+    STOCK_SETTING,
+    VoltageDowngrade,
+    e8500_like_spec,
+)
+
+
+@pytest.fixture()
+def spec() -> CpuSpec:
+    return e8500_like_spec()
+
+
+class TestPvcSetting:
+    def test_stock_is_stock(self):
+        assert STOCK_SETTING.is_stock
+        assert STOCK_SETTING.fsb_scale == 1.0
+
+    def test_underclock_scale(self):
+        assert PvcSetting(5).fsb_scale == pytest.approx(0.95)
+        assert PvcSetting(15).fsb_scale == pytest.approx(0.85)
+
+    def test_invalid_underclock_rejected(self):
+        with pytest.raises(ValueError):
+            PvcSetting(-1)
+        with pytest.raises(ValueError):
+            PvcSetting(100)
+
+    def test_describe(self):
+        assert PvcSetting().describe() == "stock"
+        label = PvcSetting(5, VoltageDowngrade.MEDIUM).describe()
+        assert "5" in label and "medium" in label
+
+
+class TestFrequencies:
+    def test_paper_example_frequencies(self, spec):
+        """Paper Sec. 3: 9 x 333 MHz = 3 GHz top, 6x = 2 GHz low."""
+        cpu = Cpu(spec)
+        assert cpu.top_frequency_hz == pytest.approx(9 * 333e6)
+        assert cpu.frequency_hz(spec.lowest_pstate) == pytest.approx(
+            6 * 333e6
+        )
+
+    def test_underclock_scales_every_pstate(self, spec):
+        """Underclocking keeps all multipliers, scaling each frequency."""
+        stock = Cpu(spec)
+        slowed = Cpu(spec, PvcSetting(10))
+        assert len(slowed.available_pstates) == len(stock.available_pstates)
+        for pstate in spec.pstates:
+            assert slowed.frequency_hz(pstate) == pytest.approx(
+                0.90 * stock.frequency_hz(pstate)
+            )
+
+    def test_multiplier_cap_example(self, spec):
+        """The paper's example: capping at 7 tops out at 2.33 GHz."""
+        cpu = Cpu(spec)
+        capped = [p for p in cpu.available_pstates if p.multiplier <= 7]
+        top = max(p.multiplier for p in capped) * cpu.fsb_hz
+        assert top == pytest.approx(7 * 333e6)
+
+
+class TestVoltage:
+    def test_downgrade_lowers_voltage(self, spec):
+        stock = Cpu(spec)
+        small = Cpu(spec, PvcSetting(0, VoltageDowngrade.SMALL))
+        medium = Cpu(spec, PvcSetting(0, VoltageDowngrade.MEDIUM))
+        v0 = stock.voltage(spec.top_pstate)
+        assert small.voltage(spec.top_pstate) < v0
+        assert medium.voltage(spec.top_pstate) < small.voltage(
+            spec.top_pstate
+        )
+
+    def test_vid_ladder_monotone(self, spec):
+        cpu = Cpu(spec)
+        voltages = [cpu.voltage(p) for p in spec.pstates]
+        assert voltages == sorted(voltages)
+
+    def test_effective_table_overrides(self, spec):
+        setting = PvcSetting(5, VoltageDowngrade.MEDIUM)
+        table = EffectiveVoltageTable({(5.0, VoltageDowngrade.MEDIUM): 1.0})
+        cpu = Cpu(spec, setting, table)
+        assert cpu.voltage(spec.top_pstate) == pytest.approx(1.0)
+        # lower p-states scale by VID ratio
+        low = cpu.voltage(spec.lowest_pstate)
+        assert low == pytest.approx(1.025 / 1.250)
+
+    def test_table_miss_falls_back_to_offsets(self, spec):
+        table = EffectiveVoltageTable({})
+        cpu = Cpu(spec, PvcSetting(5, VoltageDowngrade.SMALL), table)
+        expected = spec.top_pstate.vid_volts - 0.050
+        assert cpu.voltage(spec.top_pstate) == pytest.approx(expected)
+
+
+class TestPower:
+    def test_busy_power_magnitude(self, spec):
+        """Stock fully-busy power ~38 W (E8500-class)."""
+        cpu = Cpu(spec)
+        watts = cpu.busy_power_w(spec.top_pstate)
+        assert 35.0 < watts < 42.0
+
+    def test_idle_power_magnitude(self, spec):
+        cpu = Cpu(spec)
+        assert 3.0 < cpu.idle_power_w() < 6.0
+
+    def test_power_increases_with_activity(self, spec):
+        cpu = Cpu(spec)
+        low = cpu.busy_power_w(spec.top_pstate, activity=0.2)
+        high = cpu.busy_power_w(spec.top_pstate, activity=0.9)
+        assert high > low
+
+    def test_power_drops_with_underclock_at_fixed_voltage(self, spec):
+        stock = Cpu(spec)
+        slowed = Cpu(spec, PvcSetting(15))
+        assert (
+            slowed.busy_power_w(spec.top_pstate)
+            < stock.busy_power_w(spec.top_pstate)
+        )
+
+    @given(activity=st.floats(min_value=0.0, max_value=1.0))
+    def test_power_at_least_static(self, activity):
+        spec = e8500_like_spec()
+        cpu = Cpu(spec)
+        assert (
+            cpu.busy_power_w(spec.top_pstate, activity)
+            >= spec.static_power_w
+        )
+
+    def test_invalid_activity_rejected(self, spec):
+        cpu = Cpu(spec)
+        with pytest.raises(ValueError):
+            cpu.busy_power_w(spec.top_pstate, activity=1.5)
+
+
+class TestSpecValidation:
+    def test_requires_pstates(self):
+        with pytest.raises(ValueError):
+            CpuSpec("x", 333e6, [], c_eff=1e-9, static_power_w=1.0)
+
+    def test_pstates_sorted_by_multiplier(self):
+        spec = CpuSpec(
+            "x", 333e6,
+            [PState(9, 1.25), PState(6, 1.0)],
+            c_eff=1e-9, static_power_w=1.0,
+        )
+        assert [p.multiplier for p in spec.pstates] == [6, 9]
+
+    def test_pstate_validation(self):
+        with pytest.raises(ValueError):
+            PState(0, 1.0)
+        with pytest.raises(ValueError):
+            PState(9, 0.0)
+
+    def test_with_setting_copies(self):
+        spec = e8500_like_spec()
+        cpu = Cpu(spec)
+        other = cpu.with_setting(PvcSetting(5, VoltageDowngrade.SMALL))
+        assert other.setting.underclock_pct == 5
+        assert cpu.setting.is_stock

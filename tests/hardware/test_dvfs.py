@@ -1,0 +1,116 @@
+"""DVFS governors: utilization-driven p-state selection and capping."""
+
+import pytest
+
+from repro.hardware.cpu import Cpu, PvcSetting, e8500_like_spec
+from repro.hardware.dvfs import (
+    CappedGovernor,
+    UtilizationGovernor,
+    frequency_steps_hz,
+)
+
+
+@pytest.fixture()
+def cpu():
+    return Cpu(e8500_like_spec())
+
+
+class TestUtilizationGovernor:
+    def test_full_load_selects_top(self, cpu):
+        governor = UtilizationGovernor()
+        assert governor.select_pstate(cpu, 1.0).multiplier == 9
+
+    def test_idle_selects_lowest(self, cpu):
+        governor = UtilizationGovernor()
+        assert governor.select_pstate(cpu, 0.05).multiplier == 6
+
+    def test_monotone_in_utilization(self, cpu):
+        governor = UtilizationGovernor()
+        mults = [
+            governor.select_pstate(cpu, u).multiplier
+            for u in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+        ]
+        assert mults == sorted(mults)
+
+    def test_headroom_biases_upward(self, cpu):
+        eager = UtilizationGovernor(headroom=0.5)
+        lazy = UtilizationGovernor(headroom=1.0)
+        u = 0.55
+        assert (
+            eager.select_pstate(cpu, u).multiplier
+            >= lazy.select_pstate(cpu, u).multiplier
+        )
+
+    def test_invalid_inputs(self, cpu):
+        with pytest.raises(ValueError):
+            UtilizationGovernor(headroom=0.0)
+        with pytest.raises(ValueError):
+            UtilizationGovernor().select_pstate(cpu, 1.5)
+
+    def test_selection_unaffected_by_underclock(self):
+        """Underclocking scales all states together, so the *relative*
+        choice for a duty cycle stays the same multiplier."""
+        governor = UtilizationGovernor()
+        stock = Cpu(e8500_like_spec())
+        slowed = Cpu(e8500_like_spec(), PvcSetting(15))
+        for u in (0.2, 0.5, 0.8, 1.0):
+            assert (
+                governor.select_pstate(stock, u).multiplier
+                == governor.select_pstate(slowed, u).multiplier
+            )
+
+
+class TestCappedGovernor:
+    def test_cap_removes_top_states(self, cpu):
+        governor = CappedGovernor(max_multiplier=7)
+        available = governor.available_pstates(cpu)
+        assert [p.multiplier for p in available] == [6, 7]
+
+    def test_paper_example_two_states_left(self, cpu):
+        """Capping at 7 leaves 2 transition states (paper Sec. 3)."""
+        governor = CappedGovernor(max_multiplier=7)
+        assert len(governor.available_pstates(cpu)) == 2
+
+    def test_full_load_selects_cap(self, cpu):
+        governor = CappedGovernor(max_multiplier=7)
+        assert governor.select_pstate(cpu, 1.0).multiplier == 7
+
+    def test_cap_below_lowest_clamps(self, cpu):
+        governor = CappedGovernor(max_multiplier=1)
+        assert governor.select_pstate(cpu, 1.0).multiplier == 6
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            CappedGovernor(max_multiplier=0)
+
+
+class TestFrequencyGranularity:
+    def test_underclock_keeps_all_steps(self):
+        """The paper's core PVC argument: underclocking retains every
+        p-state (at scaled frequencies) while capping deletes states."""
+        spec = e8500_like_spec()
+        governor = UtilizationGovernor()
+        stock_steps = frequency_steps_hz(Cpu(spec), governor)
+        under_steps = frequency_steps_hz(Cpu(spec, PvcSetting(10)), governor)
+        capped_steps = frequency_steps_hz(
+            Cpu(spec), CappedGovernor(max_multiplier=7)
+        )
+        assert len(under_steps) == len(stock_steps) == 4
+        assert len(capped_steps) == 2
+        for slow, fast in zip(under_steps, stock_steps):
+            assert slow == pytest.approx(0.9 * fast)
+
+    def test_underclock_is_finer_grained(self):
+        """A 5% FSB cut moves the top frequency by 150 MHz; one
+        multiplier cap moves it by a full 333 MHz."""
+        spec = e8500_like_spec()
+        stock_top = max(frequency_steps_hz(
+            Cpu(spec), UtilizationGovernor()
+        ))
+        under_top = max(frequency_steps_hz(
+            Cpu(spec, PvcSetting(5)), UtilizationGovernor()
+        ))
+        capped_top = max(frequency_steps_hz(
+            Cpu(spec), CappedGovernor(max_multiplier=8)
+        ))
+        assert stock_top - under_top < stock_top - capped_top

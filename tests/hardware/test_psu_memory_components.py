@@ -1,0 +1,98 @@
+"""PSU efficiency curve, DRAM power, fixed components."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.components import CpuFan, Gpu, Motherboard
+from repro.hardware.memory import Memory, MemorySpec
+from repro.hardware.psu import Psu, PsuSpec
+
+
+class TestPsu:
+    def test_efficiency_at_20pct_load(self):
+        """Paper Sec. 3.2 estimates ~83% at the system's ~20% load."""
+        psu = Psu()
+        assert psu.efficiency(0.20 * 450) == pytest.approx(0.83, abs=0.01)
+
+    def test_efficiency_interpolates(self):
+        psu = Psu()
+        e10 = psu.efficiency(45.0)
+        e15 = psu.efficiency(67.5)
+        e20 = psu.efficiency(90.0)
+        assert e10 < e15 < e20
+
+    def test_wall_exceeds_dc(self):
+        psu = Psu()
+        for load in (10, 50, 100, 300):
+            assert psu.wall_power_w(load) > load
+
+    def test_standby(self):
+        psu = Psu(PsuSpec(standby_w=4.5))
+        assert psu.wall_power_w(0) == 4.5
+
+    @given(load=st.floats(min_value=0.1, max_value=450.0))
+    def test_loss_non_negative(self, load):
+        psu = Psu()
+        assert psu.loss_w(load) > 0
+
+    def test_wall_power_monotone(self):
+        psu = Psu()
+        loads = [5, 20, 60, 120, 250, 400]
+        walls = [psu.wall_power_w(x) for x in loads]
+        assert walls == sorted(walls)
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            PsuSpec(curve=[(0.0, 0.5)])
+        with pytest.raises(ValueError):
+            PsuSpec(curve=[(0.0, 0.0), (1.0, 0.9)])
+        with pytest.raises(ValueError):
+            PsuSpec(rating_w=0)
+
+
+class TestMemory:
+    def test_idle_two_dimms_matches_table1(self):
+        """Table 1: +1G adds ~4 W, the second DIMM ~1.5 W (~5.5 W DC)."""
+        mem = Memory(MemorySpec())
+        assert mem.idle_power_w() == pytest.approx(5.45, abs=0.2)
+
+    def test_activity_increases_power(self):
+        mem = Memory(MemorySpec())
+        assert mem.power_w(1.0) > mem.power_w(0.0)
+
+    def test_underclock_reduces_active_power(self):
+        """Paper Sec. 3: slowing the FSB slows DRAM and trims its power."""
+        spec = MemorySpec()
+        stock = Memory(spec, fsb_hz=333e6)
+        slowed = Memory(spec, fsb_hz=0.85 * 333e6)
+        assert slowed.power_w(1.0) < stock.power_w(1.0)
+        assert slowed.idle_power_w() == pytest.approx(stock.idle_power_w())
+
+    def test_clock_follows_fsb(self):
+        spec = MemorySpec(fsb_multiplier=4.0)
+        mem = Memory(spec, fsb_hz=300e6)
+        assert mem.clock_hz == pytest.approx(1.2e9)
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            Memory(MemorySpec()).power_w(1.5)
+
+    def test_zero_dimms_draw_nothing(self):
+        mem = Memory(MemorySpec(dimm_count=0))
+        assert mem.idle_power_w() == 0.0
+
+
+class TestComponents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Motherboard(on_w=-1)
+        with pytest.raises(ValueError):
+            Gpu(idle_w=-0.1)
+        with pytest.raises(ValueError):
+            CpuFan(w=-2)
+
+    def test_defaults_positive(self):
+        board = Motherboard()
+        assert board.standby_w > 0 and board.on_w > 0
+        assert Gpu().idle_w > 0
+        assert CpuFan().w > 0

@@ -1,0 +1,59 @@
+"""CLI commands and the public package surface."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicApi:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_surface(self):
+        db = repro.tpch_database(0.002, repro.mysql_profile())
+        runner = repro.WorkloadRunner(db, repro.default_system())
+        curve = repro.PvcSweep(
+            runner, [repro.selection_query(1)]
+        ).run()
+        assert len(curve.all_points) == 7
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["pvc", "--profile", "mysql",
+                                  "--sf", "0.01"])
+        assert args.profile == "mysql"
+        assert args.sf == 0.01
+
+    def test_table1_command(self, capsys):
+        status = main(["table1"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Table 1" in out
+        assert "69.3" in out
+
+    def test_disk_command(self, capsys):
+        status = main(["disk"])
+        assert status == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_qed_command_small(self, capsys):
+        status = main(["qed", "--sf", "0.05", "--batches", "35", "50"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "batch 35" in out and "batch 50" in out
+
+    def test_pvc_command_small(self, capsys):
+        status = main(["pvc", "--profile", "mysql", "--sf", "0.01"])
+        assert status == 0
+        assert "mysql" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

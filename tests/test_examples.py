@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs end to end at a tiny SF."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "pvc_sla_advisor.py",
+    "qed_batching.py",
+    "disk_energy_survey.py",
+    "energy_aware_optimizer.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script, "0.005"])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_list_is_complete():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(SCRIPTS)

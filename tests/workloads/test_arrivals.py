@@ -1,0 +1,93 @@
+"""Arrival streams and their interaction with the QED queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.qed.policy import BatchPolicy
+from repro.core.qed.queue import QueryQueue
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    drain_through_queue,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+QUERIES = [f"SELECT {i} FROM t WHERE a = {i}" for i in range(20)]
+
+
+class TestStreams:
+    def test_poisson_monotone_and_deterministic(self):
+        a = poisson_arrivals(QUERIES, 2.0, seed=5)
+        b = poisson_arrivals(QUERIES, 2.0, seed=5)
+        times = [x.time_s for x in a]
+        assert times == sorted(times)
+        assert [x.time_s for x in b] == times
+
+    def test_poisson_mean_roughly_right(self):
+        arrivals = poisson_arrivals(QUERIES * 50, 2.0, seed=1)
+        span = arrivals[-1].time_s - arrivals[0].time_s
+        mean = span / (len(arrivals) - 1)
+        assert mean == pytest.approx(2.0, rel=0.2)
+
+    def test_uniform_spacing(self):
+        arrivals = uniform_arrivals(QUERIES, 3.0, start_s=1.0)
+        gaps = [
+            b.time_s - a.time_s
+            for a, b in zip(arrivals, arrivals[1:])
+        ]
+        assert all(g == pytest.approx(3.0) for g in gaps)
+        assert arrivals[0].time_s == pytest.approx(4.0)
+
+    def test_bursty_shape(self):
+        arrivals = bursty_arrivals(QUERIES, burst_size=5,
+                                   burst_gap_s=100.0)
+        gaps = [
+            b.time_s - a.time_s
+            for a, b in zip(arrivals, arrivals[1:])
+        ]
+        big = [g for g in gaps if g > 1.0]
+        assert len(big) == 3  # 20 queries / bursts of 5 -> 3 gaps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(QUERIES, 0.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(QUERIES, -1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(QUERIES, 0, 1.0)
+
+
+class TestDrainThroughQueue:
+    def test_threshold_batches(self):
+        queue = QueryQueue(BatchPolicy(threshold=8))
+        batches = drain_through_queue(
+            uniform_arrivals(QUERIES, 1.0), queue
+        )
+        assert [b.size for b in batches] == [8, 8]
+        assert len(queue) == 4  # trailing partial batch stays queued
+
+    def test_bursts_dispatch_on_arrival(self):
+        queue = QueryQueue(BatchPolicy(threshold=5))
+        batches = drain_through_queue(
+            bursty_arrivals(QUERIES, burst_size=5, burst_gap_s=60.0),
+            queue,
+        )
+        assert len(batches) == 4
+        # each batch completes within its burst window
+        for batch in batches:
+            waits = batch.queue_waits()
+            assert max(waits) < 1.0
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=10),
+        mean=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_every_dispatched_query_arrived_before_dispatch(
+        self, threshold, mean
+    ):
+        queue = QueryQueue(BatchPolicy(threshold=threshold))
+        arrivals = poisson_arrivals(QUERIES, mean, seed=2)
+        batches = drain_through_queue(arrivals, queue)
+        for batch in batches:
+            for queued in batch.queries:
+                assert queued.arrival_s <= batch.dispatch_s

@@ -1,0 +1,83 @@
+"""Q10 and the Q14-style promo query (exercises LIKE + bigger joins)."""
+
+import pytest
+
+from repro.db.profiles import mysql_profile
+from repro.db.engine import Database
+from repro.workloads.tpch.generator import load_tpch
+from repro.workloads.tpch.queries import q10, q14_promo
+
+
+@pytest.fixture(scope="module")
+def full_db() -> Database:
+    db = Database(mysql_profile())
+    load_tpch(db, 0.01, seed=0)
+    return db
+
+
+class TestQ10:
+    def test_executes_and_limits(self, full_db):
+        result = full_db.execute(q10())
+        assert result.row_count <= 20
+        assert result.names == [
+            "c_custkey", "c_name", "revenue", "c_acctbal", "n_name",
+        ]
+
+    def test_revenue_descending(self, full_db):
+        revenues = [r[2] for r in full_db.execute(q10()).rows()]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_only_returned_items_counted(self, full_db):
+        """Every revenue row stems from l_returnflag = 'R' lines."""
+        result = full_db.execute(q10(limit=5))
+        li = full_db.catalog.table("lineitem")
+        orders = full_db.catalog.table("orders")
+        o_cust = dict(zip(orders.column("o_orderkey").raw().tolist(),
+                          orders.column("o_custkey").raw().tolist()))
+        flags = li.column("l_returnflag")
+        flag_r = flags.code_for("R")
+        custkeys_with_r = {
+            o_cust[ok]
+            for ok, code in zip(li.column("l_orderkey").raw().tolist(),
+                                flags.raw().tolist())
+            if code == flag_r
+        }
+        for row in result.rows():
+            assert row[0] in custkeys_with_r
+
+
+class TestPromo:
+    def test_executes(self, full_db):
+        result = full_db.execute(q14_promo())
+        assert result.row_count == 1
+
+    def test_matches_manual(self, full_db):
+        from repro.db.types import date_to_days
+        got = full_db.execute(
+            q14_promo("1995-09-01", "1995-10-01")
+        ).scalar()
+        part = full_db.catalog.table("part")
+        types = part.column("p_type")
+        promo_parts = {
+            key for key, code in zip(
+                part.column("p_partkey").raw().tolist(),
+                types.raw().tolist(),
+            )
+            if types.dictionary[code].startswith("PROMO")
+        }
+        li = full_db.catalog.table("lineitem")
+        lo = date_to_days("1995-09-01")
+        hi = date_to_days("1995-10-01")
+        expected = 0.0
+        ship = li.column("l_shipdate").raw()
+        pk = li.column("l_partkey").raw()
+        price = li.column("l_extendedprice").raw()
+        disc = li.column("l_discount").raw()
+        for i in range(li.row_count):
+            if lo <= ship[i] < hi and pk[i] in promo_parts:
+                expected += price[i] * (1 - disc[i])
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_like_pushdown_in_plan(self, full_db):
+        text = full_db.explain(q14_promo())
+        assert "LIKE 'PROMO%'" in text

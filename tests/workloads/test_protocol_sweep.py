@@ -1,0 +1,57 @@
+"""The measurement protocol wired through the PVC sweep (paper method)."""
+
+import pytest
+
+from repro.core.pvc.sweep import PvcSweep
+from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+from repro.measurement.protocol import MeasurementProtocol
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import selection_query
+
+
+class TestProtocolSweep:
+    def test_noisy_sweep_stays_close_to_exact(self, mysql_db, sut):
+        """The 5-run trimmed mean bounds the noise the paper's method
+        tolerates: ratios from a noisy sweep track the exact sweep."""
+        runner = WorkloadRunner(mysql_db, sut)
+        queries = [selection_query(1), selection_query(2)]
+        exact = PvcSweep(runner, queries).run()
+        noisy = PvcSweep(
+            runner, queries,
+            protocol=MeasurementProtocol(
+                runs=5, noise_sigma=0.01, seed=123
+            ),
+        ).run()
+        for exact_ratio, noisy_ratio in zip(
+            exact.ratios(), noisy.ratios()
+        ):
+            assert noisy_ratio.energy_ratio == pytest.approx(
+                exact_ratio.energy_ratio, abs=0.03
+            )
+            assert noisy_ratio.time_ratio == pytest.approx(
+                exact_ratio.time_ratio, abs=0.03
+            )
+
+    def test_measure_at_single_setting(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        sweep = PvcSweep(runner, [selection_query(3)])
+        point = sweep.measure_at(PvcSetting(5, VoltageDowngrade.MEDIUM))
+        assert point.setting.underclock_pct == 5
+        assert point.energy_j > 0
+        # measure_at restores the previous setting
+        assert sut.setting.is_stock
+
+    def test_protocol_noise_does_not_flip_ordering(self, mysql_db, sut):
+        """Even with noise, setting A (5%/medium) stays the best-EDP
+        point -- the paper's Figure 1 conclusion is robust to its
+        measurement method."""
+        runner = WorkloadRunner(mysql_db, sut)
+        noisy = PvcSweep(
+            runner, [selection_query(4)],
+            protocol=MeasurementProtocol(
+                runs=5, noise_sigma=0.005, seed=7
+            ),
+        ).run()
+        assert noisy.best_by_edp().setting == PvcSetting(
+            5, VoltageDowngrade.MEDIUM
+        )

@@ -1,0 +1,110 @@
+"""QED selection workload, client model, and the workload runner."""
+
+import pytest
+
+from repro.workloads.client import ClientModel
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.selection import (
+    SELECTION_COLUMNS,
+    SelectionWorkload,
+    selection_query,
+    selection_workload,
+)
+
+
+class TestSelectionWorkload:
+    def test_query_text(self):
+        sql = selection_query(7)
+        assert "l_quantity = 7" in sql
+        assert SELECTION_COLUMNS in sql
+
+    def test_out_of_range_quantity(self):
+        with pytest.raises(ValueError):
+            selection_query(0)
+        with pytest.raises(ValueError):
+            selection_query(51)
+
+    def test_workload_distinct_quantities(self):
+        wl = selection_workload(35)
+        assert wl.batch_size == 35
+        assert len(set(wl.quantities)) == 35
+
+    def test_workload_bounds(self):
+        with pytest.raises(ValueError):
+            selection_workload(51)
+        with pytest.raises(ValueError):
+            selection_workload(10, start=45)
+
+    def test_duplicate_quantities_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionWorkload((1, 1, 2))
+
+    def test_two_percent_selectivity(self, mysql_db):
+        """Each query returns ~2% of lineitem (paper Sec. 4)."""
+        total = mysql_db.catalog.table("lineitem").row_count
+        result = mysql_db.execute(selection_query(10))
+        assert result.row_count / total == pytest.approx(0.02, abs=0.01)
+
+    def test_queries_partition_lineitem(self, mysql_db):
+        """All 50 quantities together cover every row exactly once."""
+        total = mysql_db.catalog.table("lineitem").row_count
+        covered = sum(
+            mysql_db.execute(q).row_count
+            for q in selection_workload(50).queries
+        )
+        assert covered == total
+
+
+class TestClientModel:
+    def test_fetch_scales_with_rows(self):
+        client = ClientModel()
+        small = client.fetch_work(100)
+        large = client.fetch_work(10_000)
+        assert large.cycles > small.cycles
+        assert small.cycles > client.per_query_overhead_cycles
+
+    def test_split_work(self):
+        client = ClientModel()
+        work = client.split_work(1000)
+        assert work.cycles == 1000 * client.cycles_per_row_split
+
+    def test_low_duty_cycle(self):
+        assert ClientModel().utilization < 1.0
+
+
+class TestWorkloadRunner:
+    def test_per_query_completions_accumulate(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        queries = [selection_query(1), selection_query(2)]
+        wm = runner.run_queries(queries)
+        times = wm.completion_times_s
+        assert len(times) == 2
+        assert 0 < times[0] < times[1]
+        assert times[1] == pytest.approx(wm.duration_s)
+
+    def test_totals_equal_sum_of_parts(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        wm = runner.run_queries([selection_query(q) for q in (1, 2, 3)])
+        assert wm.total.cpu_joules == pytest.approx(
+            sum(m.cpu_joules for m in wm.per_query)
+        )
+
+    def test_client_work_included_by_default(self, mysql_db, sut):
+        with_client = WorkloadRunner(mysql_db, sut)
+        without = WorkloadRunner(mysql_db, sut, include_client_work=False)
+        a = with_client.execute_query(selection_query(5))
+        b = without.execute_query(selection_query(5))
+        assert a.trace.total_client_cycles > 0
+        assert b.trace.total_client_cycles == 0
+
+    def test_empty_workload_rejected(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        with pytest.raises(ValueError):
+            runner.run_queries([])
+
+    def test_identical_queries_measure_identically(self, mysql_db, sut):
+        runner = WorkloadRunner(mysql_db, sut)
+        wm = runner.run_queries([selection_query(3), selection_query(3)])
+        a, b = wm.per_query
+        assert a.cpu_joules == pytest.approx(b.cpu_joules)
+        assert a.duration_s == pytest.approx(b.duration_s)
