@@ -1,0 +1,93 @@
+"""Perf: execute-once/replay-many vs naive re-execution (the 35x claim).
+
+The Figure 1-3 sweeps measure 7 operating points with the paper's
+5-run protocol.  The naive pipeline pays a full parse/plan/execute for
+every point and repeat -- 35 workload executions.  The replay pipeline
+executes each distinct query once and re-costs cached compiled traces,
+so the sweep's database work collapses from 35x to 1x.  This bench
+times both (plus a second, fully-cached sweep), asserts the >= 5x
+speedup gate, checks the curves agree to <= 1e-9 relative, and writes
+``BENCH_perf.json`` to seed the repo's perf trajectory.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.measurement.perf import compare_sweep_paths
+from repro.measurement.report import ComparisonTable
+from repro.workloads.selection import SelectionWorkload
+
+#: Gate from the PR acceptance criteria.
+MIN_SPEEDUP = 5.0
+MAX_REL_DIFF = 1e-9
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+#: Below this scale factor (e.g. the CI smoke run) the artifact goes to
+#: a scratch path so smoke numbers never clobber the committed record.
+ARTIFACT_MIN_SF = 0.05
+
+
+def run_perf_pipeline(runner, scale_factor):
+    workload = SelectionWorkload(tuple(range(1, 11)))
+    return compare_sweep_paths(
+        runner.db, runner.sut, workload.queries,
+        repeats=5, scale_factor=scale_factor,
+    )
+
+
+def test_perf_replay_speedup(benchmark, lineitem_runner, bench_sf):
+    comparison = benchmark.pedantic(
+        run_perf_pipeline, args=(lineitem_runner, bench_sf),
+        rounds=1, iterations=1,
+    )
+
+    table = ComparisonTable(
+        "Execute-once/replay-many: 7-setting x 5-repeat sweep wall time"
+    )
+    table.add("naive sweep, rerun repeats (s)", None,
+              comparison.naive.wall_s, unit="s")
+    table.add("pre-refactor sweep, reuse repeats (s)", None,
+              comparison.naive_reuse.wall_s, unit="s")
+    table.add("replay sweep, cold cache (s)", None,
+              comparison.replay_cold.wall_s, unit="s")
+    table.add("replay sweep, warm cache (s)", None,
+              comparison.replay_cached.wall_s, unit="s")
+    table.add("speedup vs naive (cold)", None, comparison.speedup_cold)
+    table.add("speedup vs naive (cached)", None,
+              comparison.speedup_cached)
+    table.add("speedup vs pre-refactor (cold)", None,
+              comparison.speedup_vs_prerefactor)
+    table.add("db executions: naive", None,
+              float(comparison.naive.db_executions))
+    table.add("db executions: pre-refactor", None,
+              float(comparison.naive_reuse.db_executions))
+    table.add("db executions: replay", None,
+              float(comparison.replay_cold.db_executions))
+    table.print()
+
+    out = (
+        BENCH_JSON if bench_sf >= ARTIFACT_MIN_SF
+        else Path(tempfile.gettempdir()) / "BENCH_perf_smoke.json"
+    )
+    out.write_text(json.dumps(comparison.to_dict(), indent=2))
+
+    # Every path produces the same curve, numerically.
+    assert comparison.max_rel_diff_reuse <= MAX_REL_DIFF
+    assert comparison.max_rel_diff_cold <= MAX_REL_DIFF
+    assert comparison.max_rel_diff_cached <= MAX_REL_DIFF
+    # Execute-once: 10 distinct queries run once, vs 350 naive /
+    # 70 pre-refactor runs.
+    assert comparison.replay_cold.db_executions == 10
+    assert comparison.naive.db_executions == 350
+    assert comparison.naive_reuse.db_executions == 70
+    # The acceptance gate: >= 5x end-to-end vs the naive re-execute
+    # path (ISSUE 1 criterion), cold cache included.
+    assert comparison.speedup_cold >= MIN_SPEEDUP
+    assert comparison.speedup_cached >= MIN_SPEEDUP
+    # Honest win over the actual pre-refactor pipeline too (which
+    # already reused the deterministic run across protocol repeats).
+    # The margin grows with scale factor as execution dominates
+    # playback (~1.4x at the SF 0.01 smoke size, ~3.7x at SF 0.05),
+    # so the hard gate is only "strictly faster".
+    assert comparison.speedup_vs_prerefactor > 1.0

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite plus the perf smoke bench.
+#
+#   scripts/ci.sh
+#
+# The perf bench runs the 7-setting x 5-repeat sweep comparison at a
+# tiny scale factor and enforces the >= 5x replay speedup gate (it also
+# refreshes BENCH_perf.json; commit that only from a full-size run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== perf smoke bench (SF ${REPRO_BENCH_SF:-0.01}) =="
+REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    python -m pytest benchmarks/bench_perf_pipeline.py -x -q
+
+echo "CI OK"

@@ -1,0 +1,63 @@
+"""Time the sweep pipeline (naive vs replay) and write BENCH_perf.json.
+
+    PYTHONPATH=src python scripts/perf_report.py [scale_factor] [out.json]
+
+Runs the 7-setting x 5-repeat PVC sweep over the ten-query selection
+workload on the memory engine, once through the naive re-execute path
+and twice through the execute-once/replay-many path (cold and warm
+cache), then records wall-clock numbers, speedups, database-execution
+counts, and the curves' maximum relative deviation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.db.profiles import mysql_profile
+from repro.hardware.profiles import paper_sut
+from repro.measurement.perf import compare_sweep_paths
+from repro.workloads.selection import SelectionWorkload
+from repro.workloads.tpch.generator import tpch_database
+
+DEFAULT_SF = 0.02
+
+
+def main(argv: list[str]) -> int:
+    sf = float(argv[1]) if len(argv) > 1 else DEFAULT_SF
+    out = Path(argv[2]) if len(argv) > 2 else Path("BENCH_perf.json")
+
+    print(f"building lineitem database at SF {sf} ...")
+    db = tpch_database(sf, mysql_profile(), seed=0, tables=["lineitem"])
+    workload = SelectionWorkload(tuple(range(1, 11)))
+    comparison = compare_sweep_paths(
+        db, paper_sut(), workload.queries, repeats=5, scale_factor=sf,
+    )
+
+    out.write_text(json.dumps(comparison.to_dict(), indent=2))
+    print(f"naive sweep           : {comparison.naive.wall_s:8.3f} s "
+          f"({comparison.naive.db_executions} db executions)")
+    print(f"pre-refactor sweep    : {comparison.naive_reuse.wall_s:8.3f} s "
+          f"({comparison.naive_reuse.db_executions} db executions)")
+    print(f"replay sweep (cold)   : {comparison.replay_cold.wall_s:8.3f} s "
+          f"({comparison.replay_cold.db_executions} db executions)")
+    print(f"replay sweep (warm)   : {comparison.replay_cached.wall_s:8.3f} s "
+          f"({comparison.replay_cached.db_executions} db executions)")
+    print(f"speedup cold/warm     : {comparison.speedup_cold:.1f}x / "
+          f"{comparison.speedup_cached:.1f}x")
+    print(f"speedup vs pre-refact : "
+          f"{comparison.speedup_vs_prerefactor:.1f}x")
+    print(f"max curve deviation   : {comparison.max_rel_diff_cold:.2e} "
+          "(relative)")
+    print(f"wrote {out}")
+
+    ok = (
+        comparison.speedup_cold >= 5.0
+        and comparison.max_rel_diff_cold <= 1e-9
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

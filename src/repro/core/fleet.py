@@ -102,13 +102,15 @@ class Fleet:
     # -- placement policies ----------------------------------------------
 
     def spread(self, load: float) -> Placement:
-        """Balance load evenly across every (awake) server."""
+        """Balance load evenly across every (awake) server.
+
+        "Even" means equal *utilization*: each server takes load in
+        proportion to its capacity, so heterogeneous fleets balance to
+        the same duty cycle rather than the same absolute load.
+        """
         self._check_load(load)
         fraction = load / self.total_capacity
-        return Placement({
-            name: fraction * spec.capacity / spec.capacity
-            for name, spec in self.servers.items()
-        })
+        return Placement({name: fraction for name in self.servers})
 
     def consolidate(self, load: float,
                     utilization_cap: float = 0.85) -> Placement:

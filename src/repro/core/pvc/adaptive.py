@@ -90,8 +90,13 @@ class AdaptiveController:
             for index, sql in enumerate(queries):
                 sut.apply_setting(self.ladder[level])
                 settings_used.append(self.ladder[level])
-                execution = self.runner.execute_query(sql, label=f"q{index}")
-                measurement = self.runner.run_trace(execution.trace)
+                # Execute-once / replay-many: repeated queries (and
+                # repeated adaptive runs) replay their cached trace
+                # under whatever setting the ladder currently selects.
+                execution = self.runner.cached_execution(
+                    sql, label=f"q{index}"
+                )
+                measurement = self.runner.run_execution(execution)
                 measurements.append(measurement)
                 elapsed += measurement.duration_s
                 remaining = len(queries) - index - 1

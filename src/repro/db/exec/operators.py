@@ -348,6 +348,28 @@ def _sort_key_array(batch: Batch, expr: ast.Expr) -> np.ndarray:
     return evaluate_scalar(expr, batch, counters)
 
 
+def _descending_key(values: np.ndarray) -> np.ndarray:
+    """An ascending-sortable key that orders ``values`` descending.
+
+    Stable ascending argsort on the returned array equals a stable
+    descending sort on ``values`` (ties map to ties, so minor-key order
+    is preserved).  Numeric keys negate in place -- no ranking pass --
+    except where negation breaks ordering (NaNs, which argsort places
+    last either way, and the unnegatable signed-integer minimum); those
+    and non-numeric keys (strings, objects) fall back to negated dense
+    ranks via ``np.unique``.
+    """
+    dtype = values.dtype
+    if np.issubdtype(dtype, np.floating):
+        if not np.isnan(values).any():
+            return -values
+    elif np.issubdtype(dtype, np.signedinteger):
+        if not len(values) or values.min() > np.iinfo(dtype).min:
+            return -values
+    _, ranks = np.unique(values, return_inverse=True)
+    return -ranks
+
+
 def _sort(node: PhysSort, ctx: ExecutionContext) -> Batch:
     batch = execute_plan(node.child, ctx)
     op = ctx.stats.new_operator("sort")
@@ -358,10 +380,7 @@ def _sort(node: PhysSort, ctx: ExecutionContext) -> Batch:
     for key in reversed(node.keys):
         values = _sort_key_array(batch, key.expr)[order]
         if key.descending:
-            # Stable descending: sort ascending on negated dense ranks so
-            # ties keep the order established by later (minor) keys.
-            _, ranks = np.unique(values, return_inverse=True)
-            values = -ranks
+            values = _descending_key(values)
         idx = np.argsort(values, kind="stable")
         order = order[idx]
     out = batch.take(order)
@@ -379,6 +398,6 @@ def _limit(node: PhysLimit, ctx: ExecutionContext) -> Batch:
     batch = execute_plan(node.child, ctx)
     op = ctx.stats.new_operator("limit")
     op.rows_in = batch.n_rows
-    out = batch.take(np.arange(min(node.limit, batch.n_rows)))
+    out = batch.head(node.limit)
     op.rows_out = out.n_rows
     return out

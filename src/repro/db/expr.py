@@ -65,6 +65,13 @@ class Batch:
             len(indices),
         )
 
+    def head(self, n: int) -> "Batch":
+        """The first ``n`` rows by contiguous slicing (LIMIT)."""
+        n = min(n, self.n_rows)
+        return Batch(
+            {k: col.head(n) for k, col in self.columns.items()}, n
+        )
+
     def merged_with(self, other: "Batch") -> "Batch":
         overlap = set(self.columns) & set(other.columns)
         if overlap:

@@ -24,6 +24,12 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Monotone counter of *content* changes (pages admitted or
+        #: dropped; pure LRU reordering does not count).  Caches keyed
+        #: on it -- plans, execution traces -- self-invalidate whenever
+        #: the resident page set, and therefore a query's I/O work,
+        #: changes.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -52,16 +58,21 @@ class BufferPool:
             self._pages.popitem(last=False)
             self.evictions += 1
         self._pages[key] = None
+        self.version += 1
 
     def evict_table(self, table: str) -> int:
         """Drop every page of ``table``; returns the number dropped."""
         victims = [k for k in self._pages if k[0] == table]
         for key in victims:
             del self._pages[key]
+        if victims:
+            self.version += 1
         return len(victims)
 
     def clear(self) -> None:
         """Cold-start the pool (the paper's reboot before the cold run)."""
+        if self._pages:
+            self.version += 1
         self._pages.clear()
 
     def reset_counters(self) -> None:

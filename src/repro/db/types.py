@@ -119,6 +119,17 @@ class Column:
         col._index = self._index
         return col
 
+    def head(self, n: int) -> "Column":
+        """The first ``n`` rows as a contiguous slice (shares the dictionary).
+
+        Copies the ``n`` kept rows (no index array, unlike ``take``) so
+        the result owns its memory -- a cached LIMIT result must not pin
+        the full pre-limit arrays alive through a numpy view.
+        """
+        col = Column(self.dtype, self.data[:n].copy(), self.dictionary)
+        col._index = self._index
+        return col
+
     def code_for(self, value: str) -> int:
         """Dictionary code for ``value`` (-1 if absent, matching nothing)."""
         if self.dtype is not DataType.STRING:

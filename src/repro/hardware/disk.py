@@ -139,6 +139,32 @@ class Disk:
             time_s *= self.spec.write_penalty
         return time_s
 
+    def access_times_s(self, num_ops, bytes_total, sequential, write):
+        """Vectorized :meth:`access_time_s` over parallel numpy arrays.
+
+        Applies the same sequential/random formulas element-wise; used
+        by the compiled-trace playback path.
+        """
+        import numpy as np
+
+        num_ops = np.asarray(num_ops, dtype=np.float64)
+        bytes_total = np.asarray(bytes_total, dtype=np.float64)
+        seq_time = bytes_total / self.spec.seq_rate_bps
+        with np.errstate(divide="ignore", invalid="ignore"):
+            avg_block = np.where(num_ops > 0, bytes_total / np.maximum(num_ops, 1), 0.0)
+        settled = np.minimum(avg_block, self.spec.random_per_kb_cap_bytes)
+        per_op = (
+            self.spec.random_overhead_s
+            + self.spec.random_per_kb_s * (settled / 1024.0)
+        )
+        rand_time = np.where(
+            num_ops > 0, num_ops * per_op + seq_time, 0.0
+        )
+        times = np.where(np.asarray(sequential, dtype=bool),
+                         seq_time, rand_time)
+        return np.where(np.asarray(write, dtype=bool),
+                        times * self.spec.write_penalty, times)
+
     # -- power/energy ------------------------------------------------
 
     def active_energy(self, busy_s: float) -> DiskEnergy:

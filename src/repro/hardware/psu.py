@@ -83,3 +83,20 @@ class Psu:
 
     def loss_w(self, dc_load_w: float) -> float:
         return self.wall_power_w(dc_load_w) - dc_load_w
+
+    def wall_power_w_array(self, dc_load_w):
+        """Vectorized :meth:`wall_power_w` over a numpy array.
+
+        A played trace has few distinct per-interval DC loads (one per
+        segment kind x utilization level), so the scalar curve lookup
+        runs once per unique load and broadcasts back.
+        """
+        import numpy as np
+
+        dc = np.asarray(dc_load_w, dtype=np.float64)
+        uniques, inverse = np.unique(dc, return_inverse=True)
+        walls = np.array(
+            [self.wall_power_w(float(v)) for v in uniques],
+            dtype=np.float64,
+        )
+        return walls[inverse].reshape(dc.shape)

@@ -67,6 +67,12 @@ class EpuSensor:
         self.phase_s = phase_s
 
     def read(self, run: RunMeasurement) -> SampledReading:
+        if run.duration_s > 0 and not run.timeline:
+            raise ValueError(
+                "measurement carries no power timeline to sample; "
+                "replayed runs need with_timeline=True "
+                "(see SystemUnderTest.run_compiled)"
+            )
         samples: list[float] = []
         t = self.phase_s
         while t < run.duration_s:

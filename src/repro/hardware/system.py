@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.components import CpuFan, Gpu, Motherboard
 from repro.hardware.cpu import (
     Cpu,
@@ -42,7 +44,18 @@ from repro.hardware.disk import Disk, DiskEnergy, DiskSpec, ZERO_DISK_ENERGY
 from repro.hardware.dvfs import Governor, UtilizationGovernor
 from repro.hardware.memory import Memory, MemorySpec
 from repro.hardware.psu import Psu, PsuSpec
-from repro.hardware.trace import ClientWork, CpuWork, DiskAccess, Idle, Trace
+from repro.hardware.trace import (
+    KIND_CLIENT,
+    KIND_CPU,
+    KIND_DISK,
+    KIND_IDLE,
+    ClientWork,
+    CompiledTrace,
+    CpuWork,
+    DiskAccess,
+    Idle,
+    Trace,
+)
 
 #: Workload classes select which calibrated effective-voltage table
 #: applies (see profiles.py): fully CPU-bound runs (MySQL memory engine)
@@ -220,6 +233,153 @@ class SystemUnderTest:
                 raise TypeError(f"unknown segment type: {type(seg)!r}")
 
         return self._integrate(intervals, disk_energy)
+
+    def run_compiled(
+        self,
+        compiled: CompiledTrace | Trace,
+        workload_class: str = CPU_BOUND,
+        with_timeline: bool = False,
+    ) -> RunMeasurement:
+        """Vectorized playback of a compiled trace (execute-once / replay-many).
+
+        Produces the same time and energy as :meth:`run` (to floating-point
+        array-summation order) but computes per-segment wall time and power
+        with numpy array operations, grouping segments by (kind,
+        utilization): within a group the governor's p-state and therefore
+        every power draw is constant, so only the per-segment work
+        quantities need array math.  The power *timeline* is only
+        materialized when ``with_timeline`` is set (sensor sampling needs
+        it; sweeps do not).
+        """
+        if isinstance(compiled, Trace):
+            compiled = compiled.compiled()
+        cpu = self.cpu_for(workload_class)
+        memory = self.memory_for()
+        n = len(compiled)
+        kinds = compiled.kinds
+        wall = np.zeros(n)
+        cpu_w = np.zeros(n)
+        mem_w = np.zeros(n)
+        disk_frac = np.zeros(n)
+
+        compute = (kinds == KIND_CPU) | (kinds == KIND_CLIENT)
+        if compute.any():
+            stock_top = self.cpu_spec.stock_frequency_hz
+            utils = compiled.utilization[compute]
+            cyc = compiled.cycles[compute]
+            seg_wall = np.zeros(len(cyc))
+            seg_cpu_w = np.zeros(len(cyc))
+            seg_mem_w = np.zeros(len(cyc))
+            for u in np.unique(utils):
+                sel = utils == u
+                pstate = self.governor.select_pstate(cpu, float(u))
+                freq = cpu.frequency_hz(pstate)
+                busy_per_cycle = 1.0 / freq
+                gap_per_cycle = (1.0 - u) / (u * stock_top)
+                seg_wall[sel] = cyc[sel] * (busy_per_cycle + gap_per_cycle)
+                busy_frac = busy_per_cycle / (busy_per_cycle + gap_per_cycle)
+                seg_cpu_w[sel] = (
+                    busy_frac * cpu.busy_power_w(pstate)
+                    + (1.0 - busy_frac) * cpu.idle_power_w()
+                )
+                seg_mem_w[sel] = memory.power_w(
+                    min(1.0, busy_frac * self.mem_activity_coupling)
+                )
+            zero = seg_wall <= 0.0
+            seg_cpu_w[zero] = 0.0
+            seg_mem_w[zero] = 0.0
+            wall[compute] = seg_wall
+            cpu_w[compute] = seg_cpu_w
+            mem_w[compute] = seg_mem_w
+
+        disk = kinds == KIND_DISK
+        if disk.any():
+            if not self.has_disk:
+                raise ValueError("trace touches the disk but the SUT has none")
+            dwall = self.disk.access_times_s(
+                compiled.num_ops[disk], compiled.bytes_total[disk],
+                compiled.sequential[disk], compiled.write[disk],
+            )
+            utils = compiled.utilization[disk]
+            seg_cpu_w = np.zeros(len(dwall))
+            for u in np.unique(utils):
+                pstate = self.governor.select_pstate(cpu, float(u))
+                seg_cpu_w[utils == u] = (
+                    u * cpu.busy_power_w(pstate)
+                    + (1.0 - u) * cpu.idle_power_w()
+                )
+            seg_mem_w = np.full(len(dwall), memory.power_w(min(1.0, 0.2)))
+            zero = dwall <= 0.0
+            seg_cpu_w[zero] = 0.0
+            seg_mem_w[zero] = 0.0
+            wall[disk] = dwall
+            cpu_w[disk] = seg_cpu_w
+            mem_w[disk] = seg_mem_w
+            disk_frac[disk] = np.where(zero, 0.0, 1.0)
+
+        idle = kinds == KIND_IDLE
+        if idle.any():
+            wall[idle] = compiled.seconds[idle]
+            cpu_w[idle] = cpu.idle_power_w()
+            mem_w[idle] = memory.idle_power_w()
+
+        # Segments that produced an empty interval in the loop path carry
+        # zero fixed draws too (idle segments always carry full draws).
+        live = (wall > 0.0) | idle
+        board = np.where(live, self._board_w(), 0.0)
+        gpu_w = np.where(live, self._gpu_w(), 0.0)
+        fan = np.where(live, self.fan.w, 0.0)
+        if self.has_disk:
+            spec = self.disk.spec
+            disk_5v = np.where(
+                live,
+                disk_frac * spec.active_5v_w
+                + (1.0 - disk_frac) * spec.idle_5v_w,
+                0.0,
+            )
+            disk_12v = np.where(
+                live,
+                disk_frac * spec.active_12v_w
+                + (1.0 - disk_frac) * spec.idle_12v_w,
+                0.0,
+            )
+        else:
+            disk_5v = np.zeros(n)
+            disk_12v = np.zeros(n)
+
+        dc_total = cpu_w + mem_w + disk_5v + disk_12v + board + gpu_w + fan
+        wall_power = self.psu.wall_power_w_array(dc_total)
+
+        timeline: list[PowerInterval] = []
+        if with_timeline:
+            timeline = [
+                PowerInterval(
+                    duration_s=float(wall[i]),
+                    cpu_w=float(cpu_w[i]),
+                    memory_w=float(mem_w[i]),
+                    disk_5v_w=float(disk_5v[i]),
+                    disk_12v_w=float(disk_12v[i]),
+                    board_w=float(board[i]),
+                    gpu_w=float(gpu_w[i]),
+                    fan_w=float(fan[i]),
+                    label=compiled.labels[i],
+                )
+                for i in range(n)
+            ]
+        return RunMeasurement(
+            duration_s=float(np.sum(wall)),
+            cpu_joules=float(np.sum(cpu_w * wall)),
+            memory_joules=float(np.sum(mem_w * wall)),
+            disk_energy=DiskEnergy(
+                float(np.sum(disk_5v * wall)),
+                float(np.sum(disk_12v * wall)),
+            ),
+            board_joules=float(np.sum(board * wall)),
+            gpu_joules=float(np.sum(gpu_w * wall)),
+            fan_joules=float(np.sum(fan * wall)),
+            wall_joules=float(np.sum(wall_power * wall)),
+            timeline=timeline,
+        )
 
     def _play_cpu(
         self, cpu: Cpu, memory: Memory, seg: CpuWork | ClientWork

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CpuWork:
@@ -109,17 +111,103 @@ class Idle:
 Segment = CpuWork | ClientWork | DiskAccess | Idle
 
 
+#: Segment-kind codes in a :class:`CompiledTrace`.
+KIND_CPU = 0
+KIND_CLIENT = 1
+KIND_DISK = 2
+KIND_IDLE = 3
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """A :class:`Trace` packed into structure-of-arrays form.
+
+    One row per segment; which fields are meaningful depends on the
+    row's ``kinds`` code (cycles/utilization for CPU and client work,
+    num_ops/bytes_total/sequential/write/utilization for disk, seconds
+    for idle).  This is the unit of *vectorized* playback: the
+    :class:`~repro.hardware.system.SystemUnderTest` can re-cost the
+    whole trace under any PVC setting with array operations instead of
+    a per-segment Python loop -- compile once, replay many.
+    """
+
+    kinds: np.ndarray
+    cycles: np.ndarray
+    utilization: np.ndarray
+    num_ops: np.ndarray
+    bytes_total: np.ndarray
+    sequential: np.ndarray
+    write: np.ndarray
+    seconds: np.ndarray
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @classmethod
+    def from_trace(cls, trace: "Trace") -> "CompiledTrace":
+        n = len(trace.segments)
+        kinds = np.zeros(n, dtype=np.int8)
+        cycles = np.zeros(n, dtype=np.float64)
+        utilization = np.zeros(n, dtype=np.float64)
+        num_ops = np.zeros(n, dtype=np.int64)
+        bytes_total = np.zeros(n, dtype=np.float64)
+        sequential = np.zeros(n, dtype=bool)
+        write = np.zeros(n, dtype=bool)
+        seconds = np.zeros(n, dtype=np.float64)
+        labels: list[str] = []
+        for i, seg in enumerate(trace.segments):
+            labels.append(seg.label)
+            if isinstance(seg, CpuWork):
+                kinds[i] = KIND_CPU
+                cycles[i] = seg.cycles
+                utilization[i] = seg.utilization
+            elif isinstance(seg, ClientWork):
+                kinds[i] = KIND_CLIENT
+                cycles[i] = seg.cycles
+                utilization[i] = seg.utilization
+            elif isinstance(seg, DiskAccess):
+                kinds[i] = KIND_DISK
+                num_ops[i] = seg.num_ops
+                bytes_total[i] = seg.bytes_total
+                sequential[i] = seg.sequential
+                write[i] = seg.write
+                utilization[i] = seg.cpu_overlap_utilization
+            elif isinstance(seg, Idle):
+                kinds[i] = KIND_IDLE
+                seconds[i] = seg.seconds
+            else:  # pragma: no cover - exhaustive over Segment
+                raise TypeError(f"unknown segment type: {type(seg)!r}")
+        return cls(
+            kinds=kinds, cycles=cycles, utilization=utilization,
+            num_ops=num_ops, bytes_total=bytes_total,
+            sequential=sequential, write=write, seconds=seconds,
+            labels=tuple(labels),
+        )
+
+
 @dataclass
 class Trace:
     """An ordered sequence of work segments produced by one execution."""
 
     segments: list[Segment] = field(default_factory=list)
+    _compiled: CompiledTrace | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def add(self, segment: Segment) -> None:
         self.segments.append(segment)
+        self._compiled = None
 
     def extend(self, other: "Trace") -> None:
         self.segments.extend(other.segments)
+        self._compiled = None
+
+    def compiled(self) -> CompiledTrace:
+        """Packed structure-of-arrays form (memoized until mutated)."""
+        if self._compiled is None or len(self._compiled) != len(self.segments):
+            self._compiled = CompiledTrace.from_trace(self)
+        return self._compiled
 
     def __iter__(self):
         return iter(self.segments)

@@ -1,0 +1,179 @@
+"""Perf harness: execute-once/replay-many versus naive re-execution.
+
+Times the same PVC sweep four ways on one database/machine pair:
+
+* ``naive`` -- the full paper protocol with no caching anywhere:
+  every operating point and every protocol repeat re-parses, re-plans,
+  and re-executes the whole workload (``PvcSweep(replay=False)`` with
+  per-repeat rerun; the "35x more expensive than necessary" pipeline).
+  The database's plan cache is disabled while the naive baselines run,
+  so they genuinely pay parse+plan per execution like the pre-PR code.
+* ``naive_reuse`` -- the historical pre-refactor pipeline: one
+  execution per operating point, readings reused across protocol
+  repeats (``replay=False, rerun_repeats=False``), plan cache off.
+* ``replay_cold`` -- the execute-once/replay-many pipeline starting
+  from an empty execution cache: each distinct query executes once,
+  then every point/repeat replays its compiled trace.
+* ``replay_cached`` -- the same sweep again on the now-warm cache:
+  zero database executions, pure vectorized playback.
+
+The resulting :class:`PerfComparison` carries wall-clock numbers, the
+speedups, and the maximum relative deviation of the replayed
+:class:`~repro.core.metrics.OperatingPoint` values from the naive
+curve -- which must be ~1e-15-ish noise, never a real difference.
+``benchmarks/bench_perf_pipeline.py`` asserts on it and
+``scripts/perf_report.py`` serializes it to ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.pvc.sweep import PvcSweep
+from repro.core.tradeoff import TradeoffCurve
+from repro.db.engine import Database
+from repro.hardware.profiles import pvc_settings_grid
+from repro.hardware.system import SystemUnderTest
+from repro.measurement.protocol import MeasurementProtocol
+from repro.workloads.runner import WorkloadRunner
+
+
+@dataclass
+class SweepTiming:
+    """One timed sweep: wall time plus the curve it produced."""
+
+    label: str
+    wall_s: float
+    db_executions: int
+    points: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class PerfComparison:
+    """Naive vs replay timings for one sweep configuration."""
+
+    scale_factor: float | None
+    engine: str
+    num_settings: int
+    repeats: int
+    num_queries: int
+    naive: SweepTiming
+    naive_reuse: SweepTiming
+    replay_cold: SweepTiming
+    replay_cached: SweepTiming
+    max_rel_diff_reuse: float
+    max_rel_diff_cold: float
+    max_rel_diff_cached: float
+
+    @property
+    def speedup_cold(self) -> float:
+        return self.naive.wall_s / self.replay_cold.wall_s
+
+    @property
+    def speedup_cached(self) -> float:
+        return self.naive.wall_s / self.replay_cached.wall_s
+
+    @property
+    def speedup_vs_prerefactor(self) -> float:
+        """Cold-cache replay vs the historical execute-per-point path."""
+        return self.naive_reuse.wall_s / self.replay_cold.wall_s
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["speedup_cold"] = self.speedup_cold
+        out["speedup_cached"] = self.speedup_cached
+        out["speedup_vs_prerefactor"] = self.speedup_vs_prerefactor
+        return out
+
+
+def _curve_points(curve: TradeoffCurve) -> list[dict]:
+    return [
+        {"label": p.label, "time_s": p.time_s, "energy_j": p.energy_j}
+        for p in curve.all_points
+    ]
+
+
+def _max_rel_diff(reference: list[dict], other: list[dict]) -> float:
+    worst = 0.0
+    for a, b in zip(reference, other):
+        for key in ("time_s", "energy_j"):
+            denom = abs(a[key]) or 1.0
+            worst = max(worst, abs(a[key] - b[key]) / denom)
+    return worst
+
+
+def compare_sweep_paths(
+    db: Database,
+    sut: SystemUnderTest,
+    queries: list[str],
+    repeats: int = 5,
+    settings=None,
+    scale_factor: float | None = None,
+) -> PerfComparison:
+    """Time the naive and replay sweep pipelines on identical inputs."""
+    grid = (
+        settings if settings is not None
+        else pvc_settings_grid(include_stock=False)
+    )
+
+    def protocol() -> MeasurementProtocol:
+        # Noise-free so the two paths are comparable value-for-value.
+        return MeasurementProtocol(
+            runs=repeats, drop_extremes=min(1, repeats // 3),
+            noise_sigma=0.0,
+        )
+
+    def timed(label: str, sweep: PvcSweep) -> SweepTiming:
+        before = db.executions
+        start = time.perf_counter()
+        curve = sweep.run(grid)
+        wall = time.perf_counter() - start
+        return SweepTiming(
+            label=label, wall_s=wall,
+            db_executions=db.executions - before,
+            points=_curve_points(curve),
+        )
+
+    # The naive baselines model the pre-plan-cache pipeline: pay
+    # parse+plan on every execution.
+    naive_runner = WorkloadRunner(db, sut)
+    db.plan_cache_enabled = False
+    try:
+        naive = timed(
+            "naive",
+            PvcSweep(naive_runner, queries, protocol=protocol(),
+                     replay=False),
+        )
+        reuse = timed(
+            "naive_reuse",
+            PvcSweep(naive_runner, queries, protocol=protocol(),
+                     replay=False, rerun_repeats=False),
+        )
+    finally:
+        db.plan_cache_enabled = True
+
+    replay_runner = WorkloadRunner(db, sut)
+    cold = timed(
+        "replay_cold",
+        PvcSweep(replay_runner, queries, protocol=protocol(), replay=True),
+    )
+    cached = timed(
+        "replay_cached",
+        PvcSweep(replay_runner, queries, protocol=protocol(), replay=True),
+    )
+
+    return PerfComparison(
+        scale_factor=scale_factor,
+        engine=db.profile.name,
+        num_settings=len(grid) + 1,  # grid plus the stock baseline
+        repeats=repeats,
+        num_queries=len(queries),
+        naive=naive,
+        naive_reuse=reuse,
+        replay_cold=cold,
+        replay_cached=cached,
+        max_rel_diff_reuse=_max_rel_diff(naive.points, reuse.points),
+        max_rel_diff_cold=_max_rel_diff(naive.points, cold.points),
+        max_rel_diff_cached=_max_rel_diff(naive.points, cached.points),
+    )

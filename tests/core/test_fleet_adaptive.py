@@ -80,6 +80,25 @@ class TestFleetPlacement:
         with pytest.raises(ValueError):
             _fleet(2).spread(3.0)
 
+    def test_spread_heterogeneous_equalizes_utilization(self):
+        """Even spread means equal *utilization*: each server takes
+        load proportional to its capacity, not an equal absolute share."""
+        fleet = Fleet([
+            ServerSpec("big", 70.0, 110.0, capacity=4.0),
+            ServerSpec("small", 70.0, 110.0, capacity=1.0),
+        ])
+        placement = fleet.spread(2.5)
+        expected = 2.5 / 5.0
+        assert placement.utilizations["big"] == pytest.approx(expected)
+        assert placement.utilizations["small"] == pytest.approx(expected)
+        loads = {
+            name: u * fleet.servers[name].capacity
+            for name, u in placement.utilizations.items()
+        }
+        assert loads["big"] == pytest.approx(4.0 * expected)
+        assert loads["small"] == pytest.approx(1.0 * expected)
+        assert sum(loads.values()) == pytest.approx(2.5)
+
     def test_heterogeneous_fills_efficient_first(self):
         fleet = Fleet([
             ServerSpec("hog", 80.0, 160.0),

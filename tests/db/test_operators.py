@@ -206,3 +206,73 @@ class TestSortDistinctLimit:
         )
         scores = [r[1] for r in result.rows()]
         assert scores == sorted(scores, reverse=True)
+
+    def test_limit_slices_batch(self, db):
+        from repro.db.expr import Batch
+        from repro.db.types import Column
+
+        data = np.arange(10, dtype=np.int64)
+        batch = Batch({"t.x": Column(DataType.INT64, data)}, 10)
+        head = batch.head(3)
+        assert head.n_rows == 3
+        assert head.columns["t.x"].raw().tolist() == [0, 1, 2]
+        # The slice owns its memory: a cached LIMIT result must not
+        # pin the full pre-limit arrays alive.
+        assert not np.shares_memory(head.columns["t.x"].raw(), data)
+        assert batch.head(100).n_rows == 10
+
+
+class TestDescendingKey:
+    def _dk(self):
+        from repro.db.exec.operators import _descending_key
+        return _descending_key
+
+    def _assert_orders_descending(self, values):
+        key = self._dk()(values)
+        order = np.argsort(key, kind="stable")
+        ranked = values[order]
+        # Equivalent to the dense-rank reference implementation.
+        _, ranks = np.unique(values, return_inverse=True)
+        ref = np.argsort(-ranks, kind="stable")
+        assert np.array_equal(order, ref), (ranked, values[ref])
+
+    def test_float_keys_negate_directly(self):
+        values = np.array([3.5, -1.0, 2.0, 3.5, 0.0])
+        assert np.array_equal(self._dk()(values), -values)
+        self._assert_orders_descending(values)
+
+    def test_int_keys_negate_directly(self):
+        values = np.array([5, -2, 9, 5], dtype=np.int64)
+        assert np.array_equal(self._dk()(values), -values)
+        self._assert_orders_descending(values)
+
+    def test_nan_falls_back_to_ranks(self):
+        values = np.array([1.0, np.nan, 2.0])
+        key = self._dk()(values)
+        # The rank detour treats NaN as the largest value, so DESC puts
+        # it first; plain negation would flip it to last.  The fallback
+        # preserves the established semantics.
+        order = np.argsort(key, kind="stable")
+        assert order[0] == 1
+        self._assert_orders_descending(values)
+
+    def test_int64_min_falls_back_to_ranks(self):
+        lowest = np.iinfo(np.int64).min
+        values = np.array([lowest, 0, 5], dtype=np.int64)
+        key = self._dk()(values)
+        order = np.argsort(key, kind="stable")
+        assert values[order].tolist() == [5, 0, lowest]
+
+    def test_string_keys_fall_back_to_ranks(self):
+        values = np.array(["b", "a", "c", "a"], dtype=object)
+        key = self._dk()(values)
+        order = np.argsort(key, kind="stable")
+        assert values[order].tolist() == ["c", "b", "a", "a"]
+
+    def test_ties_remain_ties_for_minor_keys(self, db):
+        result = db.execute(
+            "SELECT qty, id FROM facts ORDER BY qty DESC, id"
+        )
+        rows = result.rows()
+        keys = [(-q, i) for q, i in rows]
+        assert keys == sorted(keys)

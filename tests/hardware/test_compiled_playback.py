@@ -1,0 +1,121 @@
+"""Vectorized compiled-trace playback vs the per-segment loop path."""
+
+import pytest
+
+from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+from repro.hardware.profiles import paper_sut, pvc_settings_grid
+from repro.hardware.system import SystemUnderTest
+from repro.hardware.trace import (
+    ClientWork,
+    CompiledTrace,
+    CpuWork,
+    DiskAccess,
+    Idle,
+    Trace,
+)
+
+REL = 1e-9
+
+
+def mixed_trace() -> Trace:
+    """Every segment kind, several utilization levels, some zero work."""
+    return Trace([
+        CpuWork(3.1e9, 1.0, "server"),
+        CpuWork(0.0, 1.0, "empty-cpu"),
+        ClientWork(4.2e8, 0.35, "client"),
+        DiskAccess(120, 7.5e7, sequential=False, label="random-read"),
+        DiskAccess(4, 2.0e8, sequential=True, write=True, label="temp"),
+        DiskAccess(0, 0.0, sequential=True, label="empty-disk"),
+        CpuWork(9.0e8, 0.6, "mid-duty"),
+        Idle(0.25, "stall"),
+        Idle(0.0, "empty-idle"),
+        ClientWork(1.0e8, 0.35, "client2"),
+    ])
+
+
+def assert_measurements_match(a, b):
+    assert b.duration_s == pytest.approx(a.duration_s, rel=REL)
+    assert b.cpu_joules == pytest.approx(a.cpu_joules, rel=REL)
+    assert b.memory_joules == pytest.approx(a.memory_joules, rel=REL)
+    assert b.disk_energy.joules_5v == pytest.approx(
+        a.disk_energy.joules_5v, rel=REL, abs=1e-12
+    )
+    assert b.disk_energy.joules_12v == pytest.approx(
+        a.disk_energy.joules_12v, rel=REL, abs=1e-12
+    )
+    assert b.board_joules == pytest.approx(a.board_joules, rel=REL)
+    assert b.gpu_joules == pytest.approx(a.gpu_joules, rel=REL)
+    assert b.fan_joules == pytest.approx(a.fan_joules, rel=REL)
+    assert b.wall_joules == pytest.approx(a.wall_joules, rel=REL)
+
+
+class TestCompiledTrace:
+    def test_compile_roundtrip_counts(self):
+        trace = mixed_trace()
+        compiled = trace.compiled()
+        assert len(compiled) == len(trace)
+        assert compiled.labels[0] == "server"
+
+    def test_compiled_memoized_and_invalidated(self):
+        trace = mixed_trace()
+        first = trace.compiled()
+        assert trace.compiled() is first
+        trace.add(Idle(1.0, "more"))
+        second = trace.compiled()
+        assert second is not first
+        assert len(second) == len(first) + 1
+
+    def test_from_trace_classifies_kinds(self):
+        compiled = CompiledTrace.from_trace(mixed_trace())
+        assert sorted(set(compiled.kinds.tolist())) == [0, 1, 2, 3]
+
+
+class TestVectorizedPlayback:
+    @pytest.mark.parametrize("setting", pvc_settings_grid())
+    def test_matches_loop_path_across_settings(self, setting):
+        sut = paper_sut()
+        sut.apply_setting(setting)
+        trace = mixed_trace()
+        loop = sut.run(trace, "io_mixed")
+        fast = sut.run_compiled(trace.compiled(), "io_mixed")
+        assert_measurements_match(loop, fast)
+
+    def test_matches_loop_path_cpu_bound(self):
+        sut = paper_sut()
+        sut.apply_setting(PvcSetting(5, VoltageDowngrade.MEDIUM))
+        trace = mixed_trace()
+        assert_measurements_match(
+            sut.run(trace, "cpu_bound"),
+            sut.run_compiled(trace, "cpu_bound"),
+        )
+
+    def test_timeline_reconstruction_matches(self):
+        sut = paper_sut()
+        trace = mixed_trace()
+        loop = sut.run(trace, "io_mixed")
+        fast = sut.run_compiled(trace, "io_mixed", with_timeline=True)
+        assert len(fast.timeline) == len(loop.timeline)
+        for a, b in zip(loop.timeline, fast.timeline):
+            assert b.duration_s == pytest.approx(
+                a.duration_s, rel=REL, abs=1e-15
+            )
+            assert b.cpu_w == pytest.approx(a.cpu_w, rel=REL, abs=1e-15)
+            assert b.disk_w == pytest.approx(a.disk_w, rel=REL, abs=1e-15)
+            assert b.label == a.label
+
+    def test_timeline_omitted_by_default(self):
+        sut = paper_sut()
+        fast = sut.run_compiled(mixed_trace(), "io_mixed")
+        assert fast.timeline == []
+
+    def test_diskless_sut_rejects_disk_trace(self):
+        sut = SystemUnderTest(has_disk=False)
+        trace = Trace([DiskAccess(1, 4096, sequential=True)])
+        with pytest.raises(ValueError):
+            sut.run_compiled(trace.compiled())
+
+    def test_empty_trace(self):
+        sut = paper_sut()
+        fast = sut.run_compiled(Trace().compiled())
+        assert fast.duration_s == 0.0
+        assert fast.cpu_joules == 0.0
