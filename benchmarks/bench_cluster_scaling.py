@@ -1,0 +1,73 @@
+"""Perf: fleet-scale batched playback vs the per-query replay loop.
+
+A 16-node x 10k-arrival simulation resolves every arrival to a cached
+execution and plays each node's whole timeline as one stacked array
+operation per distinct PVC setting.  The naive alternative -- one
+``run_compiled`` call per scheduled piece, ~10k+ Python-level playback
+calls -- must be >= 5x slower on the playback phase while producing
+cluster energy totals identical to <= 1e-9 relative.  The result is
+appended to ``BENCH_perf.json`` under ``cluster_scaling``.
+
+Smoke configuration: ``REPRO_BENCH_CLUSTER_NODES`` /
+``REPRO_BENCH_CLUSTER_ARRIVALS`` shrink the scenario for CI;
+``REPRO_TRACE_CACHE`` points at a directory to persist compiled traces
+across benchmark processes.
+"""
+
+from repro.measurement.perf import (
+    cluster_scaling_scenario,
+    compare_cluster_playback,
+)
+from repro.measurement.report import ComparisonTable
+
+#: Gates from the PR acceptance criteria.
+MIN_SPEEDUP = 5.0
+MAX_REL_DIFF = 1e-9
+
+
+def run_cluster_comparison(runner, scale_factor, trace_cache):
+    specs, router, stream = cluster_scaling_scenario()
+    return compare_cluster_playback(
+        runner.db, specs, router, stream,
+        scale_factor=scale_factor, trace_cache=trace_cache,
+    )
+
+
+def test_cluster_batched_playback_speedup(
+    benchmark, lineitem_runner, bench_sf, bench_trace_cache,
+    bench_artifact,
+):
+    comparison = benchmark.pedantic(
+        run_cluster_comparison,
+        args=(lineitem_runner, bench_sf, bench_trace_cache),
+        rounds=1, iterations=1,
+    )
+
+    table = ComparisonTable(
+        f"Cluster playback: {comparison.nodes} nodes x "
+        f"{comparison.arrivals} arrivals"
+    )
+    table.add("schedule phase (s)", None, comparison.schedule_wall_s,
+              unit="s")
+    table.add("batched playback (s)", None, comparison.batched_wall_s,
+              unit="s")
+    table.add("per-query loop (s)", None, comparison.loop_wall_s,
+              unit="s")
+    table.add("playback speedup", None, comparison.speedup)
+    table.add("end-to-end speedup", None, comparison.end_to_end_speedup)
+    table.add("scheduled pieces", None,
+              float(comparison.scheduled_pieces))
+    table.add("cluster energy (J)", None,
+              comparison.batched_wall_joules, unit="J")
+    table.print()
+
+    bench_artifact({"cluster_scaling": comparison.to_dict()})
+
+    # Identical energy, to float-summation order.
+    assert comparison.max_rel_diff <= MAX_REL_DIFF
+    total_rel = abs(
+        comparison.batched_wall_joules - comparison.loop_wall_joules
+    ) / comparison.batched_wall_joules
+    assert total_rel <= MAX_REL_DIFF
+    # The acceptance gate: batched playback >= 5x over the replay loop.
+    assert comparison.speedup >= MIN_SPEEDUP

@@ -10,10 +10,6 @@ speedup gate, checks the curves agree to <= 1e-9 relative, and writes
 ``BENCH_perf.json`` to seed the repo's perf trajectory.
 """
 
-import json
-import tempfile
-from pathlib import Path
-
 from repro.measurement.perf import compare_sweep_paths
 from repro.measurement.report import ComparisonTable
 from repro.workloads.selection import SelectionWorkload
@@ -21,11 +17,6 @@ from repro.workloads.selection import SelectionWorkload
 #: Gate from the PR acceptance criteria.
 MIN_SPEEDUP = 5.0
 MAX_REL_DIFF = 1e-9
-
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
-#: Below this scale factor (e.g. the CI smoke run) the artifact goes to
-#: a scratch path so smoke numbers never clobber the committed record.
-ARTIFACT_MIN_SF = 0.05
 
 
 def run_perf_pipeline(runner, scale_factor):
@@ -36,7 +27,8 @@ def run_perf_pipeline(runner, scale_factor):
     )
 
 
-def test_perf_replay_speedup(benchmark, lineitem_runner, bench_sf):
+def test_perf_replay_speedup(benchmark, lineitem_runner, bench_sf,
+                             bench_artifact):
     comparison = benchmark.pedantic(
         run_perf_pipeline, args=(lineitem_runner, bench_sf),
         rounds=1, iterations=1,
@@ -66,11 +58,7 @@ def test_perf_replay_speedup(benchmark, lineitem_runner, bench_sf):
               float(comparison.replay_cold.db_executions))
     table.print()
 
-    out = (
-        BENCH_JSON if bench_sf >= ARTIFACT_MIN_SF
-        else Path(tempfile.gettempdir()) / "BENCH_perf_smoke.json"
-    )
-    out.write_text(json.dumps(comparison.to_dict(), indent=2))
+    bench_artifact(comparison.to_dict())
 
     # Every path produces the same curve, numerically.
     assert comparison.max_rel_diff_reuse <= MAX_REL_DIFF

@@ -46,6 +46,11 @@ def main() -> None:
     print(f"  avg response time: {comparison.response_delta:+.1%}")
     print(f"  EDP              : {comparison.edp_delta:+.1%}")
 
+    # 4. Beyond one machine ----------------------------------------------
+    print("\nnext: serve an arrival stream across a simulated fleet --")
+    print("  python -m repro cluster --nodes 8 --arrivals 500 "
+          "--policy consolidate")
+
 
 if __name__ == "__main__":
     main()

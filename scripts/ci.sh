@@ -18,4 +18,10 @@ echo "== perf smoke bench (SF ${REPRO_BENCH_SF:-0.01}) =="
 REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
     python -m pytest benchmarks/bench_perf_pipeline.py -x -q
 
+echo "== cluster scaling smoke bench =="
+REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
+REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
+    python -m pytest benchmarks/bench_cluster_scaling.py -x -q
+
 echo "CI OK"

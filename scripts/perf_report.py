@@ -1,41 +1,73 @@
-"""Time the sweep pipeline (naive vs replay) and write BENCH_perf.json.
+"""Time the perf pipelines (sweep + cluster) and write BENCH_perf.json.
 
-    PYTHONPATH=src python scripts/perf_report.py [scale_factor] [out.json]
+    PYTHONPATH=src python scripts/perf_report.py [sf] [out.json] \
+        [--trace-cache DIR]
 
-Runs the 7-setting x 5-repeat PVC sweep over the ten-query selection
-workload on the memory engine, once through the naive re-execute path
-and twice through the execute-once/replay-many path (cold and warm
-cache), then records wall-clock numbers, speedups, database-execution
-counts, and the curves' maximum relative deviation.
+Runs two comparisons and records both in one artifact:
+
+* the 7-setting x 5-repeat PVC sweep over the ten-query selection
+  workload, naive re-execution vs execute-once/replay-many (cold and
+  warm cache) -- wall clocks, speedups, database-execution counts, and
+  the curves' maximum relative deviation;
+* the cluster scaling scenario (16 nodes x 10k arrivals by default,
+  ``REPRO_BENCH_CLUSTER_NODES``/``_ARRIVALS`` override), batched
+  fleet playback vs the per-query replay loop, appended under the
+  ``cluster_scaling`` key.
+
+``--trace-cache DIR`` persists compiled traces across processes: a
+second invocation pointed at the same directory skips the cluster
+workload's database executions entirely.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
+import tempfile
 from pathlib import Path
 
 from repro.db.profiles import mysql_profile
 from repro.hardware.profiles import paper_sut
-from repro.measurement.perf import compare_sweep_paths
+from repro.measurement.perf import (
+    cluster_scaling_scenario,
+    compare_cluster_playback,
+    compare_sweep_paths,
+)
+from repro.workloads.runner import TraceCache
 from repro.workloads.selection import SelectionWorkload
 from repro.workloads.tpch.generator import tpch_database
 
 DEFAULT_SF = 0.02
+#: Same guard as benchmarks/conftest.py: sub-full-size runs must not
+#: clobber the committed artifact.
+ARTIFACT_MIN_SF = 0.05
+COMMITTED_ARTIFACT = Path("BENCH_perf.json")
 
 
-def main(argv: list[str]) -> int:
-    sf = float(argv[1]) if len(argv) > 1 else DEFAULT_SF
-    out = Path(argv[2]) if len(argv) > 2 else Path("BENCH_perf.json")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sf", nargs="?", type=float, default=DEFAULT_SF)
+    parser.add_argument("out", nargs="?", type=Path,
+                        default=COMMITTED_ARTIFACT)
+    parser.add_argument("--trace-cache", default=None, metavar="DIR",
+                        help="persist compiled traces across processes")
+    args = parser.parse_args(argv)
+    if args.out == COMMITTED_ARTIFACT and args.sf < ARTIFACT_MIN_SF:
+        # Mirror the bench suite: smoke numbers never clobber the
+        # committed record unless an output path is given explicitly.
+        args.out = Path(tempfile.gettempdir()) / "BENCH_perf_smoke.json"
+        print(f"SF {args.sf} < {ARTIFACT_MIN_SF}: writing to {args.out} "
+              "(pass an explicit output path to override)")
 
-    print(f"building lineitem database at SF {sf} ...")
-    db = tpch_database(sf, mysql_profile(), seed=0, tables=["lineitem"])
+    print(f"building lineitem database at SF {args.sf} ...")
+    db = tpch_database(args.sf, mysql_profile(), seed=0,
+                       tables=["lineitem"])
     workload = SelectionWorkload(tuple(range(1, 11)))
     comparison = compare_sweep_paths(
-        db, paper_sut(), workload.queries, repeats=5, scale_factor=sf,
+        db, paper_sut(), workload.queries, repeats=5,
+        scale_factor=args.sf,
     )
 
-    out.write_text(json.dumps(comparison.to_dict(), indent=2))
     print(f"naive sweep           : {comparison.naive.wall_s:8.3f} s "
           f"({comparison.naive.db_executions} db executions)")
     print(f"pre-refactor sweep    : {comparison.naive_reuse.wall_s:8.3f} s "
@@ -50,14 +82,44 @@ def main(argv: list[str]) -> int:
           f"{comparison.speedup_vs_prerefactor:.1f}x")
     print(f"max curve deviation   : {comparison.max_rel_diff_cold:.2e} "
           "(relative)")
-    print(f"wrote {out}")
+
+    trace_cache = (
+        TraceCache.for_workload(args.trace_cache, "mysql", args.sf,
+                                seed=0, tables=("lineitem",))
+        if args.trace_cache else None
+    )
+    specs, router, stream = cluster_scaling_scenario()
+    print(f"\ncluster scaling       : {len(specs)} nodes x "
+          f"{len(stream)} arrivals")
+    cluster = compare_cluster_playback(
+        db, specs, router, stream,
+        scale_factor=args.sf, trace_cache=trace_cache,
+    )
+    print(f"schedule phase        : {cluster.schedule_wall_s:8.3f} s")
+    print(f"batched playback      : {cluster.batched_wall_s:8.3f} s")
+    print(f"per-query replay loop : {cluster.loop_wall_s:8.3f} s")
+    print(f"playback speedup      : {cluster.speedup:.1f}x "
+          f"(end-to-end {cluster.end_to_end_speedup:.1f}x)")
+    print(f"max energy deviation  : {cluster.max_rel_diff:.2e} (relative)")
+
+    record = (
+        json.loads(args.out.read_text()) if args.out.exists() else {}
+    )
+    record.update(comparison.to_dict())
+    record["cluster_scaling"] = cluster.to_dict()
+    args.out.write_text(json.dumps(record, indent=2))
+    print(f"wrote {args.out}")
 
     ok = (
         comparison.speedup_cold >= 5.0
         and comparison.max_rel_diff_cold <= 1e-9
+        and cluster.speedup >= 5.0
+        and cluster.max_rel_diff <= 1e-9
     )
     return 0 if ok else 1
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -24,6 +24,16 @@ Quickstart::
         print(label, e, t, edp_delta)
 """
 
+from repro.cluster import (
+    ClusterMeasurement,
+    ClusterSimulator,
+    ConsolidateRouter,
+    LeastLoadedRouter,
+    NodeSpec,
+    PowerCapRouter,
+    RoundRobinRouter,
+    uniform_fleet,
+)
 from repro.core.fleet import Fleet, Placement, ServerSpec, server_from_sut
 from repro.core.metrics import OperatingPoint, RatioPoint, edp, iso_edp_curve
 from repro.core.pvc.adaptive import AdaptiveController, AdaptiveOutcome
@@ -62,8 +72,15 @@ from repro.hardware.profiles import (
 from repro.hardware.system import SystemUnderTest
 from repro.measurement.protocol import MeasurementProtocol
 from repro.measurement.report import ComparisonTable
+from repro.workloads.arrivals import (
+    Arrival,
+    bursty_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 from repro.workloads.client import ClientModel
-from repro.workloads.runner import WorkloadRunner
+from repro.workloads.runner import TraceCache, WorkloadRunner
 from repro.workloads.selection import selection_query, selection_workload
 from repro.workloads.tpch.generator import load_tpch, tpch_database
 from repro.workloads.tpch.queries import (
@@ -84,16 +101,25 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveController",
     "AdaptiveOutcome",
+    "Arrival",
     "BatchPolicy",
+    "ClusterMeasurement",
+    "ClusterSimulator",
+    "ConsolidateRouter",
     "CostWeights",
     "EDP_BALANCED",
     "ENERGY_OPTIMAL",
     "Fleet",
+    "LeastLoadedRouter",
+    "NodeSpec",
     "PlanCoster",
     "Placement",
+    "PowerCapRouter",
+    "RoundRobinRouter",
     "ServerSpec",
     "SleepingServerModel",
     "TIME_OPTIMAL",
+    "TraceCache",
     "rank_plans",
     "server_from_sut",
     "ClientModel",
@@ -118,13 +144,16 @@ __all__ = [
     "TradeoffCurve",
     "VoltageDowngrade",
     "WorkloadRunner",
+    "bursty_arrivals",
     "commercial_profile",
     "default_system",
     "edp",
     "iso_edp_curve",
     "load_tpch",
+    "merge_arrivals",
     "merge_queries",
     "mysql_profile",
+    "poisson_arrivals",
     "paper_sut",
     "profile_by_name",
     "pvc_settings_grid",
@@ -143,4 +172,6 @@ __all__ = [
     "split_result",
     "theoretical_edp_series",
     "tpch_database",
+    "uniform_arrivals",
+    "uniform_fleet",
 ]

@@ -5,11 +5,14 @@
     python -m repro qed --sf 0.05 --batches 35 40 45 50
     python -m repro disk
     python -m repro warmcold --sf 0.05
+    python -m repro cluster --nodes 8 --arrivals 500 --policy consolidate
     python -m repro experiments --sf 0.02      # everything, compact
 
-Each command prints a paper-vs-measured table (see
-:mod:`repro.measurement.report`) and exits non-zero if any reproduction
-check fails its documented tolerance.
+Each reproduction command prints a paper-vs-measured table (see
+:mod:`repro.measurement.report`) and exits non-zero if any check fails
+its documented tolerance.  ``cluster`` simulates serving an arrival
+stream across a fleet of simulated servers with batched compiled-trace
+playback (exits non-zero if a power-capped run overshoots its cap).
 """
 
 from __future__ import annotations
@@ -98,6 +101,105 @@ def cmd_warmcold(args) -> int:
     return 1 if bad else 0
 
 
+def cmd_cluster(args) -> int:
+    from repro.cluster import (
+        ClusterSimulator,
+        ConsolidateRouter,
+        LeastLoadedRouter,
+        PowerCapRouter,
+        RoundRobinRouter,
+        uniform_fleet,
+    )
+    from repro.core.qed.policy import BatchPolicy
+    from repro.db.profiles import mysql_profile
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.runner import TraceCache
+    from repro.workloads.selection import selection_workload
+    from repro.workloads.tpch.generator import tpch_database
+
+    if args.policy == "powercap" and args.qed_batch is not None:
+        print("error: the powercap policy cannot cap nodes with QED "
+              "queues; drop --qed-batch or pick another policy",
+              file=sys.stderr)
+        return 2
+    if args.qed_max_wait is not None and args.qed_batch is None:
+        print("error: --qed-max-wait needs --qed-batch (no queue "
+              "exists without a batch threshold)", file=sys.stderr)
+        return 2
+    # Validate every flag-derived object *before* the expensive
+    # database build so bad flags fail fast with a clean message.
+    try:
+        if args.policy == "spread":
+            router = RoundRobinRouter()
+        elif args.policy == "least":
+            router = LeastLoadedRouter()
+        elif args.policy == "consolidate":
+            router = ConsolidateRouter(max_backlog_s=args.max_backlog)
+        else:
+            router = PowerCapRouter(
+                cap_w=args.cap_w, max_delay_s=args.max_delay
+            )
+        policy = (
+            BatchPolicy(args.qed_batch, max_wait_s=args.qed_max_wait)
+            if args.qed_batch is not None else None
+        )
+        specs = uniform_fleet(args.nodes,
+                              wake_latency_s=args.wake_latency,
+                              queue_policy=policy)
+        queries = selection_workload(args.distinct).queries
+        stream = poisson_arrivals(
+            [queries[i % len(queries)] for i in range(args.arrivals)],
+            args.mean_interarrival, seed=args.seed,
+        )
+        if not stream:
+            raise ValueError("--arrivals must be >= 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"building lineitem database at SF {args.sf} ...")
+    db = tpch_database(args.sf, mysql_profile(), seed=0,
+                       tables=["lineitem"])
+    trace_cache = (
+        TraceCache.for_workload(args.trace_cache, "mysql", args.sf,
+                                seed=0, tables=("lineitem",))
+        if args.trace_cache else None
+    )
+    sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache)
+    try:
+        m = sim.run(stream, mode=args.playback)
+    except ValueError as exc:
+        # e.g. a power cap below the fleet's idle floor
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"\ncluster: {args.nodes} nodes, {args.arrivals} arrivals, "
+          f"policy={args.policy}, playback={args.playback}")
+    print(f"  {'node':8s} {'queries':>7} {'util':>6} {'busy s':>8} "
+          f"{'idle s':>8} {'sleep s':>8} {'energy J':>10}")
+    for n in m.nodes:
+        print(f"  {n.name:8s} {n.queries:7d} {n.utilization:6.1%} "
+              f"{n.busy_s:8.2f} {n.idle_s:8.2f} {n.sleep_s:8.2f} "
+              f"{n.wall_joules:10.1f}")
+    print(f"  served {m.served}, shed {len(m.shed)}, "
+          f"awake nodes {m.awake_nodes}/{len(m.nodes)}")
+    print(f"  horizon        : {m.horizon_s:10.2f} s")
+    print(f"  wall energy    : {m.wall_joules:10.1f} J "
+          f"(avg {m.avg_power_w:.1f} W, peak model {m.peak_power_w:.1f} W)")
+    print(f"  EDP            : {m.edp:10.1f} J*s")
+    print(f"  response p50   : {m.p50_response_s*1e3:10.1f} ms")
+    print(f"  response p95   : {m.p95_response_s*1e3:10.1f} ms")
+    print(f"  response p99   : {m.p99_response_s*1e3:10.1f} ms")
+    if args.sla is not None:
+        print(f"  SLA {args.sla:.3f}s misses: "
+              f"{m.sla_violations(args.sla)}")
+    if m.cap_w is not None:
+        print(f"  power cap      : {m.cap_w:.1f} W "
+              f"(overshoot {m.power_cap_overshoot_w:.2f} W)")
+        return 1 if m.power_cap_overshoot_w > 0 else 0
+    return 0
+
+
 def cmd_experiments(args) -> int:
     status = 0
     status |= cmd_table1(args)
@@ -142,6 +244,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("warmcold", help="warm vs cold runs (Sec 3.5)")
     p.add_argument("--sf", type=float, default=0.02)
     p.set_defaults(func=cmd_warmcold)
+
+    p = sub.add_parser(
+        "cluster",
+        help="simulate an arrival stream across a fleet",
+    )
+    p.add_argument("--sf", type=float, default=0.01,
+                   help="TPC-H scale factor")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--arrivals", type=int, default=200)
+    p.add_argument("--distinct", type=int, default=20,
+                   help="distinct selection queries cycled by arrivals")
+    p.add_argument("--policy",
+                   choices=("spread", "least", "consolidate", "powercap"),
+                   default="spread")
+    p.add_argument("--mean-interarrival", type=float, default=0.05,
+                   help="Poisson mean inter-arrival time (s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wake-latency", type=float, default=30.0,
+                   help="sleep-to-awake transition (s)")
+    p.add_argument("--max-backlog", type=float, default=1.0,
+                   help="consolidate: per-node backlog cap (s)")
+    p.add_argument("--cap-w", type=float, default=500.0,
+                   help="powercap: fleet wall-power cap (W)")
+    p.add_argument("--max-delay", type=float, default=None,
+                   help="powercap: shed if delayed more than this (s)")
+    p.add_argument("--qed-batch", type=int, default=None,
+                   help="per-node QED queue batch threshold")
+    p.add_argument("--qed-max-wait", type=float, default=None,
+                   help="per-node QED queue timeout (s)")
+    p.add_argument("--sla", type=float, default=None,
+                   help="report response-time SLA misses (s)")
+    p.add_argument("--playback", choices=("batched", "loop"),
+                   default="batched")
+    p.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="persist compiled traces across processes")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("experiments", help="run everything")
     p.add_argument("--sf", type=float, default=0.02)

@@ -1,0 +1,50 @@
+"""Cluster simulation: arrival streams served across a simulated fleet.
+
+The paper's *global* energy techniques made concrete: a discrete-event
+simulator routes an :class:`~repro.workloads.arrivals.Arrival` stream
+across nodes that each wrap a
+:class:`~repro.hardware.system.SystemUnderTest` with its own PVC
+setting (and optionally a per-node QED queue), under pluggable routing
+policies -- spread, least-loaded, consolidate-with-sleep, power-cap.
+The hot path is batched compiled-trace playback: every node's whole
+timeline plays as one stacked array operation per distinct setting.
+"""
+
+from repro.cluster.measure import (
+    ClusterMeasurement,
+    NodeUsage,
+    QueryResponse,
+    ShedQuery,
+)
+from repro.cluster.node import NodeSpec, SimulatedNode, uniform_fleet
+from repro.cluster.playback import play_batched, play_loop, playback_groups
+from repro.cluster.routing import (
+    ConsolidateRouter,
+    Decision,
+    LeastLoadedRouter,
+    PowerCapRouter,
+    RoundRobinRouter,
+    Router,
+)
+from repro.cluster.simulator import ClusterSchedule, ClusterSimulator
+
+__all__ = [
+    "ClusterMeasurement",
+    "ClusterSchedule",
+    "ClusterSimulator",
+    "ConsolidateRouter",
+    "Decision",
+    "LeastLoadedRouter",
+    "NodeSpec",
+    "NodeUsage",
+    "PowerCapRouter",
+    "QueryResponse",
+    "RoundRobinRouter",
+    "Router",
+    "ShedQuery",
+    "SimulatedNode",
+    "play_batched",
+    "play_loop",
+    "playback_groups",
+    "uniform_fleet",
+]

@@ -1,0 +1,224 @@
+"""Cluster-level measurement: composed node playback + response times.
+
+A cluster run produces one :class:`~repro.hardware.system.RunMeasurement`
+per node (the node's whole awake timeline played back under its PVC
+setting) plus the event-level bookkeeping the hardware layer cannot see:
+sleep energy, wake transitions, per-query response times, shed queries,
+and the fleet's modeled power peak.  :class:`ClusterMeasurement` composes
+them into the paper-style aggregate metrics -- total energy, EDP,
+per-node utilization, response-time percentiles, SLA violations, and
+power-cap overshoot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.hardware.disk import ZERO_DISK_ENERGY
+from repro.hardware.system import RunMeasurement
+
+
+def zero_measurement() -> RunMeasurement:
+    """An empty playback (a node that never woke up)."""
+    return RunMeasurement(0.0, 0.0, 0.0, ZERO_DISK_ENERGY, 0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One served query's life cycle through the cluster."""
+
+    sql: str
+    node: str
+    arrival_s: float
+    start_s: float
+    completion_s: float
+
+    @property
+    def response_s(self) -> float:
+        """Full sojourn time: arrival to completion (queue wait included)."""
+        return self.completion_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class ShedQuery:
+    """A query the power-cap policy refused to serve."""
+
+    sql: str
+    arrival_s: float
+
+
+@dataclass(frozen=True)
+class ScheduledWork:
+    """One contiguous busy window on a node.
+
+    A plain query occupies one window; a QED batch occupies one window
+    for the whole merged execution.  ``trace_key`` indexes the schedule's
+    compiled-trace table; ``queries`` carries the (sql, arrival time)
+    pairs answered when the window completes.
+    """
+
+    trace_key: str
+    start_s: float
+    end_s: float
+    queries: tuple[tuple[str, float], ...]
+
+    @property
+    def service_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class NodeUsage:
+    """One node's share of a cluster run."""
+
+    name: str
+    queries: int
+    busy_s: float
+    wake_s: float
+    sleep_s: float
+    horizon_s: float
+    playback: RunMeasurement
+    sleep_joules: float
+
+    @property
+    def idle_s(self) -> float:
+        """Awake-but-idle time (includes any pre/post-run idling)."""
+        return max(0.0, self.playback.duration_s - self.busy_s - self.wake_s)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.horizon_s if self.horizon_s else 0.0
+
+    @property
+    def wall_joules(self) -> float:
+        """Playback wall energy plus the sleep-state draw."""
+        return self.playback.wall_joules + self.sleep_joules
+
+
+@dataclass
+class ClusterMeasurement:
+    """A completed cluster simulation: energy, time, and service quality."""
+
+    horizon_s: float
+    nodes: list[NodeUsage]
+    responses: list[QueryResponse]
+    shed: list[ShedQuery] = field(default_factory=list)
+    peak_power_w: float = 0.0
+    cap_w: float | None = None
+
+    # -- energy -----------------------------------------------------------
+
+    @property
+    def total(self) -> RunMeasurement:
+        """Composed playback of every node (sleep energy excluded)."""
+        out = zero_measurement()
+        for node in self.nodes:
+            out = out + node.playback
+        return out
+
+    @property
+    def wall_joules(self) -> float:
+        """Cluster wall energy over the horizon, sleep states included."""
+        return sum(n.wall_joules for n in self.nodes)
+
+    @property
+    def cpu_joules(self) -> float:
+        return sum(n.playback.cpu_joules for n in self.nodes)
+
+    @property
+    def edp(self) -> float:
+        """Cluster EDP: wall energy x makespan."""
+        return self.wall_joules * self.horizon_s
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.wall_joules / self.horizon_s if self.horizon_s else 0.0
+
+    # -- service quality --------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return len(self.responses)
+
+    @cached_property
+    def _response_values(self) -> np.ndarray:
+        """Response times as one array (memoized; every percentile and
+        mean reads it, and the measurement is effectively immutable
+        once composed)."""
+        return np.array([r.response_s for r in self.responses])
+
+    def response_percentile(self, q: float) -> float:
+        if not self.responses:
+            return 0.0
+        return float(np.percentile(self._response_values, q))
+
+    @property
+    def p50_response_s(self) -> float:
+        return self.response_percentile(50.0)
+
+    @property
+    def p95_response_s(self) -> float:
+        return self.response_percentile(95.0)
+
+    @property
+    def p99_response_s(self) -> float:
+        return self.response_percentile(99.0)
+
+    @property
+    def mean_response_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return float(self._response_values.mean())
+
+    def sla_violations(self, sla_s: float) -> int:
+        """Served queries over the response-time SLA, plus shed queries
+        (a refused query is the hardest SLA miss of all)."""
+        if sla_s < 0:
+            raise ValueError("sla_s must be non-negative")
+        late = sum(1 for r in self.responses if r.response_s > sla_s)
+        return late + len(self.shed)
+
+    # -- power cap --------------------------------------------------------
+
+    @property
+    def power_cap_overshoot_w(self) -> float:
+        """Modeled peak power above the cap (0 when capped or uncapped).
+
+        The cap router's feasibility check grants float-noise slack
+        (1e-9 W); anything under a micro-watt here is that same noise,
+        not a violation.
+        """
+        if self.cap_w is None:
+            return 0.0
+        overshoot = self.peak_power_w - self.cap_w
+        return overshoot if overshoot > 1e-6 else 0.0
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def awake_nodes(self) -> int:
+        return sum(1 for n in self.nodes if n.playback.duration_s > 0)
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar summary (CLI table / benchmark artifacts)."""
+        return {
+            "horizon_s": self.horizon_s,
+            "served": float(self.served),
+            "shed": float(len(self.shed)),
+            "awake_nodes": float(self.awake_nodes),
+            "wall_joules": self.wall_joules,
+            "cpu_joules": self.cpu_joules,
+            "edp": self.edp,
+            "avg_power_w": self.avg_power_w,
+            "peak_power_w": self.peak_power_w,
+            "p50_response_s": self.p50_response_s,
+            "p95_response_s": self.p95_response_s,
+            "p99_response_s": self.p99_response_s,
+            "mean_utilization": (
+                sum(n.utilization for n in self.nodes) / len(self.nodes)
+                if self.nodes else 0.0
+            ),
+        }

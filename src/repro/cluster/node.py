@@ -1,0 +1,219 @@
+"""Per-node simulation state: a server wrapping a SystemUnderTest.
+
+Each cluster node is the paper's machine (or any
+:class:`~repro.hardware.system.SystemUnderTest`) pinned to its own PVC
+operating point, with an optional per-node QED admission queue and a
+sleep state for the consolidate policies.  The node tracks *when* things
+happen (busy windows, wake transitions, sleep spans); *what* they cost
+is resolved later by batched compiled-trace playback
+(:mod:`repro.cluster.playback`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.measure import ScheduledWork
+from repro.core.fleet import ServerSpec, server_from_sut
+from repro.core.qed.policy import BatchPolicy
+from repro.core.qed.queue import QueryQueue
+from repro.hardware.cpu import PvcSetting, STOCK_SETTING
+from repro.hardware.system import SystemUnderTest
+from repro.hardware.trace import CompiledTrace, Idle, Trace
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node's static configuration."""
+
+    name: str
+    setting: PvcSetting = STOCK_SETTING
+    sleep_wall_w: float = 3.5
+    wake_latency_s: float = 30.0
+    queue_policy: BatchPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.sleep_wall_w < 0:
+            raise ValueError("sleep_wall_w must be non-negative")
+        if self.wake_latency_s < 0:
+            raise ValueError("wake_latency_s must be non-negative")
+
+
+def uniform_fleet(
+    count: int,
+    setting: PvcSetting = STOCK_SETTING,
+    sleep_wall_w: float = 3.5,
+    wake_latency_s: float = 30.0,
+    queue_policy: BatchPolicy | None = None,
+    prefix: str = "node",
+) -> list[NodeSpec]:
+    """``count`` identical node specs (``node00``, ``node01``, ...)."""
+    if count < 1:
+        raise ValueError("a fleet needs at least one node")
+    width = max(2, len(str(count - 1)))
+    return [
+        NodeSpec(
+            name=f"{prefix}{i:0{width}d}",
+            setting=setting,
+            sleep_wall_w=sleep_wall_w,
+            wake_latency_s=wake_latency_s,
+            queue_policy=queue_policy,
+        )
+        for i in range(count)
+    ]
+
+
+class TimelineAccounting:
+    """Busy/wake/sleep accounting over ``scheduled`` work + wake state.
+
+    Shared by the live :class:`SimulatedNode` and the frozen
+    :class:`~repro.cluster.simulator.NodeTimeline` snapshot so
+    schedule-time and playback-time accounting can never diverge.
+    Expects ``scheduled``, ``started_awake``, ``wake_called_s``, and
+    ``wake_ready_s`` attributes.
+    """
+
+    @property
+    def busy_s(self) -> float:
+        return sum(w.service_s for w in self.scheduled)
+
+    @property
+    def wake_s(self) -> float:
+        if self.started_awake or self.wake_called_s is None:
+            return 0.0
+        return self.wake_ready_s - self.wake_called_s
+
+    def sleep_s(self, horizon_s: float) -> float:
+        if self.started_awake:
+            return 0.0
+        if self.wake_called_s is None:
+            return horizon_s
+        return self.wake_called_s
+
+
+class SimulatedNode(TimelineAccounting):
+    """Mutable per-run state of one node.
+
+    Sleep model: a node either starts the run awake or starts asleep and
+    is woken at most once (on demand, by a consolidate-style router).
+    Waking takes ``wake_latency_s`` during which the node draws idle
+    power but cannot serve; work routed to a waking node starts no
+    earlier than ``wake_ready_s``.  Asleep time draws ``sleep_wall_w``
+    and is accounted outside trace playback.
+    """
+
+    def __init__(self, spec: NodeSpec, sut: SystemUnderTest):
+        self.spec = spec
+        self.sut = sut
+        self._power_estimate: ServerSpec | None = None
+        self.reset(awake=True)
+
+    # -- life cycle -------------------------------------------------------
+
+    def reset(self, awake: bool = True) -> None:
+        """Fresh per-run state (called by the router's ``prepare``)."""
+        self.started_awake = awake
+        self.wake_called_s: float | None = None
+        self.wake_ready_s = 0.0
+        self.busy_until = 0.0
+        self.scheduled: list[ScheduledWork] = []
+        self.queue = (
+            QueryQueue(self.spec.queue_policy)
+            if self.spec.queue_policy is not None else None
+        )
+
+    @property
+    def awake(self) -> bool:
+        """Awake or in its wake transition (not serviceable until ready)."""
+        return self.started_awake or self.wake_called_s is not None
+
+    @property
+    def ready_s(self) -> float:
+        """Earliest time newly routed work could start (if awake)."""
+        return max(self.busy_until, self.wake_ready_s)
+
+    def wake(self, now_s: float) -> float:
+        """Begin the wake transition (idempotent); returns ready time."""
+        if not self.awake:
+            self.wake_called_s = now_s
+            self.wake_ready_s = now_s + self.spec.wake_latency_s
+        return self.wake_ready_s
+
+    def assign(
+        self,
+        trace_key: str,
+        dispatch_s: float,
+        service_s: float,
+        queries: tuple[tuple[str, float], ...],
+    ) -> ScheduledWork:
+        """Schedule one busy window; returns the placed work.
+
+        The window starts when the node is available: never before the
+        dispatch time, the end of prior work, or -- the consolidate
+        invariant -- the end of the wake transition.
+        """
+        if not self.awake:
+            raise ValueError(
+                f"cannot assign work to sleeping node {self.spec.name!r}"
+            )
+        if service_s < 0:
+            raise ValueError("service_s must be non-negative")
+        start = max(dispatch_s, self.busy_until, self.wake_ready_s)
+        work = ScheduledWork(
+            trace_key=trace_key,
+            start_s=start,
+            end_s=start + service_s,
+            queries=queries,
+        )
+        self.scheduled.append(work)
+        self.busy_until = work.end_s
+        return work
+
+    # -- accounting (busy_s/wake_s/sleep_s from TimelineAccounting) -------
+
+    def power_estimate(self) -> ServerSpec:
+        """Linear power envelope (Fan et al.) derived from the SUT.
+
+        Used by the power-cap router and the fleet's modeled power
+        timeline; memoized because the derivation replays component
+        models.
+        """
+        if self._power_estimate is None:
+            self._power_estimate = server_from_sut(
+                self.sut, self.spec.name, self.spec.sleep_wall_w
+            )
+        return self._power_estimate
+
+    # -- trace assembly ---------------------------------------------------
+
+    def pieces(self, table: dict[str, CompiledTrace],
+               horizon_s: float) -> list[CompiledTrace]:
+        """The node's awake timeline as compiled-trace pieces.
+
+        Busy windows resolve through ``table``; the gaps between them
+        (and the wake transition) become ``Idle`` segments so playback
+        charges awake-idle power.  Sleeping time is *not* represented --
+        it is billed at ``sleep_wall_w`` outside the hardware model.
+        """
+        if not self.awake:
+            return []
+        out: list[CompiledTrace] = []
+        if self.started_awake:
+            cursor = 0.0
+        else:
+            cursor = self.wake_called_s or 0.0
+            if self.wake_ready_s > cursor:
+                out.append(_idle_piece(self.wake_ready_s - cursor, "wake"))
+                cursor = self.wake_ready_s
+        for work in self.scheduled:
+            if work.start_s - cursor > 1e-12:
+                out.append(_idle_piece(work.start_s - cursor, "idle"))
+            out.append(table[work.trace_key])
+            cursor = work.end_s
+        if horizon_s - cursor > 1e-12:
+            out.append(_idle_piece(horizon_s - cursor, "idle"))
+        return out
+
+
+def _idle_piece(seconds: float, label: str) -> CompiledTrace:
+    return Trace([Idle(seconds, label=label)]).compiled()

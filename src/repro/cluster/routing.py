@@ -1,0 +1,280 @@
+"""Routing policies: where (and when) each arrival runs.
+
+The paper's *global* techniques -- "change the job scheduling method for
+the entire system" and "turn entire servers off when not required" --
+become routing policies over the simulated fleet:
+
+``RoundRobinRouter``
+    The traditional load balancer (``Fleet.spread`` over time): every
+    node stays awake, arrivals rotate across the fleet.
+``LeastLoadedRouter``
+    Shortest-completion-time routing: pick the node that would finish
+    the query earliest given its backlog.
+``ConsolidateRouter``
+    Energy-aware packing (``Fleet.consolidate`` over time): keep as few
+    nodes awake as possible, wake the next node only when every awake
+    node's backlog exceeds the cap, and pay the wake-latency penalty --
+    work never starts on a waking node before its transition completes.
+``PowerCapRouter``
+    Cap-aware admission: schedule work so the fleet's modeled power
+    (linear per-node envelope) never exceeds a wall-power cap, delaying
+    queries into power headroom or shedding them when the delay would
+    exceed the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import SimulatedNode
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Where one arrival goes: a node (or None = shed) and the earliest
+    time the node may begin servicing it."""
+
+    node: SimulatedNode | None
+    dispatch_s: float
+
+
+class Router:
+    """Base policy: all nodes awake, subclass picks the target."""
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        """Reset per-run state; called once before the event loop."""
+        for node in nodes:
+            node.reset(awake=True)
+
+    def route(self, sql: str, now_s: float,
+              service_by_node: dict[str, float],
+              nodes: list[SimulatedNode]) -> Decision:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Spread placement over time: rotate arrivals across the fleet."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        super().prepare(nodes)
+        self._next = 0
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return Decision(node, now_s)
+
+
+def earliest_completion_node(
+    nodes: list[SimulatedNode],
+    now_s: float,
+    service_by_node: dict[str, float],
+) -> SimulatedNode:
+    """The node that would finish the query soonest (ties: node order)."""
+    return min(
+        nodes,
+        key=lambda n: (
+            max(now_s, n.ready_s) + service_by_node[n.spec.name]
+        ),
+    )
+
+
+class LeastLoadedRouter(Router):
+    """Route to the node that would complete the query earliest."""
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        return Decision(
+            earliest_completion_node(nodes, now_s, service_by_node),
+            now_s,
+        )
+
+
+class ConsolidateRouter(Router):
+    """Pack arrivals onto the fewest awake nodes; the rest sleep.
+
+    A node accepts work while its backlog (time until it would start
+    this query, plus the query itself) stays within ``max_backlog_s`` --
+    the time-domain analogue of ``Fleet.consolidate``'s utilization cap.
+    When every awake node is over the cap, a sleeping node is woken
+    *only if* waking it (wake latency + service) would answer the query
+    sooner than the least-loaded awake node -- a short burst therefore
+    rides out on the awake set instead of stampeding the whole fleet
+    out of sleep.  Otherwise the least-loaded awake node takes the
+    overflow (the closed-form model's fall-back-to-spread).
+    """
+
+    def __init__(self, max_backlog_s: float):
+        if max_backlog_s <= 0:
+            raise ValueError("max_backlog_s must be positive")
+        self.max_backlog_s = max_backlog_s
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        if not nodes:
+            raise ValueError("router needs at least one node")
+        nodes[0].reset(awake=True)
+        for node in nodes[1:]:
+            node.reset(awake=False)
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        awake = [n for n in nodes if n.awake]
+        for node in awake:
+            backlog = (
+                max(node.ready_s, now_s) - now_s
+                + service_by_node[node.spec.name]
+            )
+            if backlog <= self.max_backlog_s:
+                return Decision(node, now_s)
+        best_awake = earliest_completion_node(
+            awake, now_s, service_by_node
+        )
+        best_completion = (
+            max(now_s, best_awake.ready_s)
+            + service_by_node[best_awake.spec.name]
+        )
+        sleepers = [n for n in nodes if not n.awake]
+        if sleepers:
+            candidate = min(
+                sleepers,
+                key=lambda n: (
+                    n.spec.wake_latency_s
+                    + service_by_node[n.spec.name]
+                ),
+            )
+            wake_completion = (
+                now_s + candidate.spec.wake_latency_s
+                + service_by_node[candidate.spec.name]
+            )
+            if wake_completion < best_completion:
+                candidate.wake(now_s)
+                return Decision(candidate, now_s)
+        return Decision(best_awake, now_s)
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start_s: float
+    end_s: float
+    delta_w: float
+
+
+class PowerCapRouter(Router):
+    """Keep the fleet's modeled wall power under ``cap_w``.
+
+    Every node stays awake (the cap constrains *activity*, not
+    provisioning); each busy window adds its node's ``busy - idle``
+    power delta on top of the all-idle baseline.  A query is placed on
+    the node that can complete it earliest without the fleet's modeled
+    power exceeding the cap at any instant -- delaying its start into
+    headroom if needed.  If the required delay exceeds ``max_delay_s``
+    the query is shed (``Decision(node=None)``).
+    """
+
+    def __init__(self, cap_w: float, max_delay_s: float | None = None):
+        if cap_w <= 0:
+            raise ValueError("cap_w must be positive")
+        if max_delay_s is not None and max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.cap_w = cap_w
+        self.max_delay_s = max_delay_s
+        self._baseline_w = 0.0
+        self._deltas: dict[str, float] = {}
+        self._intervals: list[_Interval] = []
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        super().prepare(nodes)
+        if any(node.queue is not None for node in nodes):
+            # A per-node QED queue re-times work after routing (merged
+            # batch windows the router never saw), which would silently
+            # void the cap guarantee.
+            raise ValueError(
+                "PowerCapRouter cannot cap nodes with QED queues; "
+                "drop the queue policy or use another router"
+            )
+        self._intervals = []
+        self._deltas = {}
+        self._baseline_w = 0.0
+        for node in nodes:
+            est = node.power_estimate()
+            self._deltas[node.spec.name] = est.busy_wall_w - est.idle_wall_w
+            self._baseline_w += est.idle_wall_w
+        if self._baseline_w > self.cap_w:
+            raise ValueError(
+                f"cap {self.cap_w} W is below the fleet's idle floor "
+                f"{self._baseline_w:.1f} W"
+            )
+        if self._baseline_w + min(self._deltas.values()) > self.cap_w:
+            raise ValueError(
+                "cap leaves no headroom for any node to serve a query"
+            )
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        # Completed windows can never constrain future placements.
+        self._intervals = [
+            iv for iv in self._intervals if iv.end_s > now_s
+        ]
+        best: tuple[float, float, SimulatedNode] | None = None
+        for node in nodes:
+            delta = self._deltas[node.spec.name]
+            if self._baseline_w + delta > self.cap_w:
+                continue  # this node alone would breach the cap
+            service = service_by_node[node.spec.name]
+            s0 = max(now_s, node.ready_s)
+            start = self._earliest_feasible(s0, service, delta)
+            if (
+                self.max_delay_s is not None
+                and start - now_s > self.max_delay_s
+            ):
+                continue  # this node can't start soon enough
+            completion = start + service
+            if best is None or completion < best[0]:
+                best = (completion, start, node)
+        if best is None:
+            # No node both fits under the cap and meets the delay bound.
+            return Decision(None, now_s)
+        completion, start, node = best
+        self._intervals.append(
+            _Interval(start, completion, self._deltas[node.spec.name])
+        )
+        return Decision(node, start)
+
+    def _earliest_feasible(self, s0: float, service_s: float,
+                           delta_w: float) -> float:
+        """Earliest start >= s0 keeping modeled power <= cap throughout.
+
+        Candidate starts are ``s0`` and the ends of currently scheduled
+        windows -- modeled power only drops at window ends, so the first
+        feasible candidate is (conservatively) the earliest placement.
+        """
+        active = [iv for iv in self._intervals if iv.end_s > s0]
+        headroom = self.cap_w - self._baseline_w - delta_w
+        candidates = sorted(
+            {s0} | {iv.end_s for iv in active if iv.end_s > s0}
+        )
+        for start in candidates:
+            if self._peak_overlap(active, start,
+                                  start + service_s) <= headroom + 1e-9:
+                return start
+        # Unreachable: after the last active window ends nothing overlaps,
+        # and prepare() guarantees baseline + delta <= cap.
+        return candidates[-1]  # pragma: no cover
+
+    @staticmethod
+    def _peak_overlap(active: list[_Interval], start_s: float,
+                      end_s: float) -> float:
+        """Peak concurrent power delta from ``active`` inside a window."""
+        events: list[tuple[float, float]] = []
+        for iv in active:
+            a = max(iv.start_s, start_s)
+            b = min(iv.end_s, end_s)
+            if b > a:
+                events.append((a, iv.delta_w))
+                events.append((b, -iv.delta_w))
+        events.sort(key=lambda e: (e[0], e[1]))
+        run = peak = 0.0
+        for _, d in events:
+            run += d
+            peak = max(peak, run)
+        return peak

@@ -1,0 +1,395 @@
+"""Discrete-event cluster simulation over batched compiled-trace playback.
+
+The paper's deployment story at production scale: an arrival stream of
+queries hits a master, a routing policy places each query on a node
+(possibly waking it, delaying it, or shedding it), per-node QED queues
+may batch arrivals into merged executions, and every node is the
+calibrated machine model pinned to its own PVC operating point.
+
+The simulation is split into two phases so the hot path stays a handful
+of array operations:
+
+1. :meth:`ClusterSimulator.schedule` -- resolve each arrival to a cached
+   :class:`~repro.workloads.runner.QueryExecution` (execute-once: each
+   distinct statement hits the database once, results are evicted once
+   the trace compiles), pre-cost each distinct query per playback group
+   with one ``run_compiled_batch`` call, then run the event loop in pure
+   Python over floats.  Produces a :class:`ClusterSchedule`: per-node
+   timelines (busy windows + idle/wake gaps) as compiled-trace pieces.
+2. :meth:`ClusterSimulator.playback` -- play every node's whole timeline
+   with one stacked array call per distinct PVC setting
+   (:func:`~repro.cluster.playback.play_batched`), or per piece
+   (:func:`~repro.cluster.playback.play_loop`, the perf baseline), and
+   compose the :class:`~repro.cluster.measure.ClusterMeasurement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.measure import (
+    ClusterMeasurement,
+    NodeUsage,
+    QueryResponse,
+    ShedQuery,
+)
+from repro.cluster.node import NodeSpec, SimulatedNode, TimelineAccounting
+from repro.cluster.playback import play_batched, play_loop, playback_groups
+from repro.cluster.routing import Router
+from repro.core.qed.aggregator import merge_queries
+from repro.core.qed.executor import merged_batch_execution
+from repro.core.qed.queue import Batch
+from repro.db.engine import Database
+from repro.hardware.profiles import paper_sut
+from repro.hardware.system import SystemUnderTest
+from repro.hardware.trace import CompiledTrace
+from repro.workloads.arrivals import Arrival
+from repro.workloads.client import ClientModel
+from repro.workloads.runner import TraceCache, WorkloadRunner
+
+
+@dataclass(frozen=True)
+class NodeTimeline(TimelineAccounting):
+    """Immutable snapshot of one node's run, taken at schedule time.
+
+    ``ClusterSchedule`` must not alias live :class:`SimulatedNode`
+    state: a later ``schedule()`` call on the same simulator resets the
+    nodes, and playing back an earlier schedule would otherwise mix two
+    runs' bookkeeping.
+    """
+
+    spec: NodeSpec
+    sut: SystemUnderTest
+    scheduled: tuple
+    started_awake: bool
+    wake_called_s: float | None
+    wake_ready_s: float
+
+    @classmethod
+    def snapshot(cls, node: SimulatedNode) -> "NodeTimeline":
+        return cls(
+            spec=node.spec,
+            sut=node.sut,
+            scheduled=tuple(node.scheduled),
+            started_awake=node.started_awake,
+            wake_called_s=node.wake_called_s,
+            wake_ready_s=node.wake_ready_s,
+        )
+
+
+@dataclass
+class ClusterSchedule:
+    """The event loop's outcome: who runs what, when, on which node."""
+
+    nodes: list[NodeTimeline]
+    table: dict[str, CompiledTrace]
+    pieces_by_node: dict[str, list[CompiledTrace]]
+    horizon_s: float
+    shed: list[ShedQuery]
+    peak_power_w: float
+    cap_w: float | None
+    workload_class: str
+
+    @property
+    def scheduled_pieces(self) -> int:
+        return sum(len(p) for p in self.pieces_by_node.values())
+
+
+class ClusterSimulator:
+    """Serve an arrival stream across a simulated fleet.
+
+    Every node's machine comes from ``sut_factory`` (default: the
+    calibrated paper machine) with its spec's PVC setting applied, which
+    keeps same-setting nodes playback-equivalent -- the property batched
+    playback exploits.  The shared database models fully replicated
+    data: any node can serve any query.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        specs: list[NodeSpec],
+        router: Router,
+        sut_factory: Callable[[], SystemUnderTest] | None = None,
+        client: ClientModel | None = None,
+        trace_cache: TraceCache | None = None,
+    ):
+        if not specs:
+            raise ValueError("a cluster needs at least one node")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        factory = sut_factory if sut_factory is not None else paper_sut
+        self.db = db
+        self.router = router
+        self.runner = WorkloadRunner(
+            db, factory(), client=client, trace_cache=trace_cache
+        )
+        self.nodes: list[SimulatedNode] = []
+        for spec in specs:
+            sut = factory()
+            sut.apply_setting(spec.setting)
+            self.nodes.append(SimulatedNode(spec, sut))
+
+    # -- phase 1: event loop ---------------------------------------------
+
+    def schedule(self, arrivals: list[Arrival]) -> ClusterSchedule:
+        """Route every arrival; returns the fleet's scheduled timelines."""
+        if not arrivals:
+            raise ValueError("need at least one arrival")
+        arrivals = sorted(arrivals, key=lambda a: a.time_s)
+        workload_class = self.db.workload_class
+
+        # Execute-once: each distinct statement hits the database once;
+        # row data is evicted as soon as the trace is compiled.
+        table: dict[str, CompiledTrace] = {}
+        for i, sql in enumerate(dict.fromkeys(a.sql for a in arrivals)):
+            execution = self.runner.cached_execution(
+                sql, label=f"c{i}", keep_result=False
+            )
+            table[sql] = execution.compiled_trace()
+
+        # Pre-cost each distinct query per playback group: one stacked
+        # call per distinct setting replaces a per-(query, node) loop.
+        groups = playback_groups(self.nodes)
+        group_of = {
+            node.spec.name: gi
+            for gi, group in enumerate(groups)
+            for node in group
+        }
+        distinct = list(table)
+        durations: list[dict[str, float]] = []
+        for group in groups:
+            batch = group[0].sut.run_compiled_batch(
+                [table[sql] for sql in distinct], workload_class
+            )
+            durations.append({
+                sql: m.duration_s for sql, m in zip(distinct, batch)
+            })
+
+        # Per-distinct-SQL service maps, shared across arrivals (the
+        # event loop would otherwise rebuild an identical dict ~10k
+        # times); routers only read them.
+        service_maps = {
+            sql: {
+                node.spec.name: durations[group_of[node.spec.name]][sql]
+                for node in self.nodes
+            }
+            for sql in distinct
+        }
+
+        self.router.prepare(self.nodes)
+        shed: list[ShedQuery] = []
+        queued = [n for n in self.nodes if n.queue is not None]
+        for arrival in arrivals:
+            now = arrival.time_s
+            for node in queued:  # timeout-based QED dispatches
+                batch = self._expire_queue(node, now)
+                if batch is not None:
+                    self._schedule_batch(
+                        node, batch, table, durations,
+                        group_of, workload_class,
+                    )
+            service_by_node = service_maps[arrival.sql]
+            decision = self.router.route(
+                arrival.sql, now, service_by_node, self.nodes
+            )
+            if decision.node is None:
+                shed.append(ShedQuery(arrival.sql, now))
+                continue
+            node = decision.node
+            if node.queue is not None:
+                batch = node.queue.submit(arrival.sql, now)
+                if batch is not None:
+                    self._schedule_batch(
+                        node, batch, table, durations,
+                        group_of, workload_class,
+                    )
+            else:
+                node.assign(
+                    arrival.sql, decision.dispatch_s,
+                    service_by_node[node.spec.name],
+                    ((arrival.sql, now),),
+                )
+        end_of_arrivals = arrivals[-1].time_s
+        for node in queued:  # trailing partial batches drain
+            if len(node.queue) == 0:
+                continue
+            # A timeout policy would fire on its own at the oldest
+            # query's expiry (possibly after the last arrival); a
+            # threshold-only queue is drained at end of arrivals.
+            flush_at = self._queue_expiry(node)
+            if flush_at is None or flush_at < end_of_arrivals:
+                flush_at = end_of_arrivals
+            batch = node.queue.flush(flush_at)
+            if batch is not None:
+                self._schedule_batch(
+                    node, batch, table, durations, group_of,
+                    workload_class,
+                )
+
+        horizon = end_of_arrivals
+        for node in self.nodes:
+            horizon = max(horizon, node.busy_until)
+            if node.awake:
+                horizon = max(horizon, node.wake_ready_s)
+        pieces_by_node = {
+            node.spec.name: node.pieces(table, horizon)
+            for node in self.nodes
+        }
+        return ClusterSchedule(
+            nodes=[NodeTimeline.snapshot(n) for n in self.nodes],
+            table=table,
+            pieces_by_node=pieces_by_node,
+            horizon_s=horizon,
+            shed=shed,
+            peak_power_w=self._peak_model_power_w(horizon),
+            cap_w=getattr(self.router, "cap_w", None),
+            workload_class=workload_class,
+        )
+
+    @staticmethod
+    def _queue_expiry(node: SimulatedNode) -> float | None:
+        """When the node's queue timeout would fire (None: no timeout)."""
+        policy = node.spec.queue_policy
+        if policy is None or policy.max_wait_s is None:
+            return None
+        oldest = node.queue.oldest_arrival_s
+        if oldest is None:
+            return None
+        return oldest + policy.max_wait_s
+
+    def _expire_queue(self, node: SimulatedNode, now_s: float):
+        """Dispatch a timed-out batch *at its expiry*, not at ``now``.
+
+        Between sparse arrivals the queue's timeout fires on its own;
+        ticking it at the next arrival's timestamp would charge the
+        whole inter-arrival gap to the batch's response times.
+        """
+        expiry = self._queue_expiry(node)
+        if expiry is None or expiry > now_s:
+            return None
+        # flush (not tick): float addition noise in the expiry must not
+        # leave the policy un-fired and the batch stranded.
+        return node.queue.flush(expiry)
+
+    def _schedule_batch(
+        self,
+        node: SimulatedNode,
+        batch: Batch,
+        table: dict[str, CompiledTrace],
+        durations: list[dict[str, float]],
+        group_of: dict[str, int],
+        workload_class: str,
+    ) -> None:
+        """Serve a dispatched QED batch as one merged execution.
+
+        The batch becomes a single disjunctive query plus the
+        client-side split work (built by the same
+        :func:`~repro.core.qed.executor.merged_batch_execution` helper
+        the QED experiment uses), and every query in the batch completes
+        when the merged window does.
+        """
+        merged = merge_queries(batch.sqls)
+        key = merged.sql
+        if key not in table:
+            execution, trace = merged_batch_execution(
+                self.runner, merged
+            )
+            table[key] = trace.compiled()
+            execution.release_result()
+        gi = group_of[node.spec.name]
+        if key not in durations[gi]:
+            durations[gi][key] = node.sut.run_compiled(
+                table[key], workload_class
+            ).duration_s
+        node.assign(
+            key, batch.dispatch_s, durations[gi][key],
+            tuple((q.sql, q.arrival_s) for q in batch.queries),
+        )
+
+    def _peak_model_power_w(self, horizon_s: float) -> float:
+        """Peak fleet power under the linear per-node envelope.
+
+        The same model the power-cap router schedules against: awake
+        nodes draw idle watts (wake transitions included), busy windows
+        add ``busy - idle``, sleeping nodes draw their sleep watts.
+        """
+        power = 0.0
+        events: list[tuple[float, float]] = []
+        for node in self.nodes:
+            est = node.power_estimate()
+            if node.started_awake:
+                power += est.idle_wall_w
+            else:
+                power += node.spec.sleep_wall_w
+                if node.wake_called_s is not None:
+                    events.append((
+                        node.wake_called_s,
+                        est.idle_wall_w - node.spec.sleep_wall_w,
+                    ))
+            delta = est.busy_wall_w - est.idle_wall_w
+            for work in node.scheduled:
+                events.append((work.start_s, delta))
+                events.append((work.end_s, -delta))
+        events.sort(key=lambda e: (e[0], e[1]))
+        peak = power
+        for _, d in events:
+            power += d
+            peak = max(peak, power)
+        return peak
+
+    # -- phase 2: playback -------------------------------------------------
+
+    def playback(self, schedule: ClusterSchedule,
+                 mode: str = "batched") -> ClusterMeasurement:
+        """Turn scheduled timelines into energy: the vectorized hot path
+        (``batched``) or the per-query replay loop (``loop``)."""
+        if mode == "batched":
+            measurements = play_batched(
+                schedule.nodes, schedule.pieces_by_node,
+                schedule.workload_class,
+            )
+        elif mode == "loop":
+            measurements = play_loop(
+                schedule.nodes, schedule.pieces_by_node,
+                schedule.workload_class,
+            )
+        else:
+            raise ValueError(f"unknown playback mode {mode!r}")
+        usages: list[NodeUsage] = []
+        responses: list[QueryResponse] = []
+        for node in schedule.nodes:
+            name = node.spec.name
+            sleep_s = node.sleep_s(schedule.horizon_s)
+            usages.append(NodeUsage(
+                name=name,
+                queries=sum(len(w.queries) for w in node.scheduled),
+                busy_s=node.busy_s,
+                wake_s=node.wake_s,
+                sleep_s=sleep_s,
+                horizon_s=schedule.horizon_s,
+                playback=measurements[name],
+                sleep_joules=node.spec.sleep_wall_w * sleep_s,
+            ))
+            for work in node.scheduled:
+                for sql, arrival_s in work.queries:
+                    responses.append(QueryResponse(
+                        sql=sql, node=name, arrival_s=arrival_s,
+                        start_s=work.start_s, completion_s=work.end_s,
+                    ))
+        responses.sort(key=lambda r: (r.arrival_s, r.completion_s))
+        return ClusterMeasurement(
+            horizon_s=schedule.horizon_s,
+            nodes=usages,
+            responses=responses,
+            shed=list(schedule.shed),
+            peak_power_w=schedule.peak_power_w,
+            cap_w=schedule.cap_w,
+        )
+
+    def run(self, arrivals: list[Arrival],
+            mode: str = "batched") -> ClusterMeasurement:
+        """Schedule and play an arrival stream end to end."""
+        return self.playback(self.schedule(arrivals), mode=mode)

@@ -94,7 +94,7 @@ class AdaptiveController:
                 # repeated adaptive runs) replay their cached trace
                 # under whatever setting the ladder currently selects.
                 execution = self.runner.cached_execution(
-                    sql, label=f"q{index}"
+                    sql, label=f"q{index}", keep_result=False
                 )
                 measurement = self.runner.run_execution(execution)
                 measurements.append(measurement)

@@ -22,7 +22,7 @@ from repro.core.qed.aggregator import MergedQuery, merge_queries
 from repro.core.qed.splitter import SplitOutcome, split_cost_rows, split_result
 from repro.hardware.system import RunMeasurement
 from repro.hardware.trace import Trace
-from repro.workloads.runner import WorkloadRunner
+from repro.workloads.runner import QueryExecution, WorkloadRunner
 
 
 @dataclass
@@ -137,6 +137,26 @@ class QedComparison:
         ]
 
 
+def merged_batch_execution(
+    runner: WorkloadRunner, merged: MergedQuery
+) -> tuple[QueryExecution, Trace]:
+    """Execute a merged batch and assemble its full QED work trace.
+
+    One disjunctive execution plus the client-side split work -- the
+    single place that defines what a QED batch costs, shared by
+    :class:`QedExecutor` and the cluster simulator's per-node queues so
+    the two accountings can never diverge.
+    """
+    execution = runner.cached_execution(
+        merged.sql, label="qed", keep_result=True
+    )
+    trace = Trace(list(execution.trace.segments))
+    trace.add(runner.client.split_work(
+        split_cost_rows(merged, execution.result), label="qed:split"
+    ))
+    return execution, trace
+
+
 class QedExecutor:
     """Runs the two schemes for a workload of mergeable selections."""
 
@@ -154,12 +174,8 @@ class QedExecutor:
 
     def run_batched(self, queries: list[str]) -> BatchedOutcome:
         merged = merge_queries(queries)
-        execution = self.runner.cached_execution(merged.sql, label="qed")
+        execution, trace = merged_batch_execution(self.runner, merged)
         split = split_result(merged, execution.result)
-        trace = Trace(list(execution.trace.segments))
-        trace.add(self.runner.client.split_work(
-            split_cost_rows(merged, execution.result), label="qed:split"
-        ))
         measurement = self.runner.sut.run_compiled(
             trace, self.runner.db.workload_class
         )

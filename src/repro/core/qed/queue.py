@@ -63,6 +63,12 @@ class QueryQueue:
     def pending(self) -> list[QueuedQuery]:
         return list(self._pending)
 
+    @property
+    def oldest_arrival_s(self) -> float | None:
+        """Arrival time of the oldest queued query, without copying the
+        pending list (peeked per arrival in the cluster event loop)."""
+        return self._pending[0].arrival_s if self._pending else None
+
     def submit(self, sql: str, now_s: float) -> Batch | None:
         """Enqueue a query; returns a batch if the policy fires."""
         self._pending.append(QueuedQuery(sql, now_s, self._next_id))

@@ -66,8 +66,14 @@ class Batch:
         )
 
     def head(self, n: int) -> "Batch":
-        """The first ``n`` rows by contiguous slicing (LIMIT)."""
-        n = min(n, self.n_rows)
+        """The first ``n`` rows by contiguous slicing (LIMIT).
+
+        Clamped to ``[0, n_rows]``: a programmatically built plan can
+        carry a negative limit, which must degrade to an empty batch
+        (as the arange-based implementation did), not a batch whose
+        ``n_rows`` disagrees with its columns.
+        """
+        n = max(0, min(n, self.n_rows))
         return Batch(
             {k: col.head(n) for k, col in self.columns.items()}, n
         )

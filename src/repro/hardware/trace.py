@@ -30,6 +30,7 @@ Segment kinds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -184,6 +185,65 @@ class CompiledTrace:
             sequential=sequential, write=write, seconds=seconds,
             labels=tuple(labels),
         )
+
+    @classmethod
+    def concat(cls, traces: "list[CompiledTrace]") -> "CompiledTrace":
+        """Stack several compiled traces into one (fleet-scale playback).
+
+        The result plays every input back-to-back; callers that need the
+        per-input boundaries can reconstruct them from the input lengths
+        (see :meth:`~repro.hardware.system.SystemUnderTest.run_compiled_batch`).
+        """
+        if not traces:
+            return cls.from_trace(Trace())
+        if len(traces) == 1:
+            return traces[0]
+        labels: list[str] = []
+        for t in traces:
+            labels.extend(t.labels)
+        return cls(
+            kinds=np.concatenate([t.kinds for t in traces]),
+            cycles=np.concatenate([t.cycles for t in traces]),
+            utilization=np.concatenate([t.utilization for t in traces]),
+            num_ops=np.concatenate([t.num_ops for t in traces]),
+            bytes_total=np.concatenate([t.bytes_total for t in traces]),
+            sequential=np.concatenate([t.sequential for t in traces]),
+            write=np.concatenate([t.write for t in traces]),
+            seconds=np.concatenate([t.seconds for t in traces]),
+            labels=tuple(labels),
+        )
+
+    # -- persistence (execute once, replay in another process) ----------
+
+    def save(self, path: str | Path) -> None:
+        """Write the packed arrays to ``path`` as an ``.npz`` archive.
+
+        The literal ``path`` is written (``np.savez`` would append an
+        ``.npz`` suffix to a bare name, which :meth:`load` -- opening
+        the literal path -- could then not find).
+        """
+        with open(Path(path), "wb") as f:
+            np.savez(
+                f,
+                kinds=self.kinds, cycles=self.cycles,
+                utilization=self.utilization, num_ops=self.num_ops,
+                bytes_total=self.bytes_total, sequential=self.sequential,
+                write=self.write, seconds=self.seconds,
+                labels=np.asarray(self.labels, dtype=np.str_),
+            )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CompiledTrace":
+        """Read a trace previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                kinds=data["kinds"], cycles=data["cycles"],
+                utilization=data["utilization"], num_ops=data["num_ops"],
+                bytes_total=data["bytes_total"],
+                sequential=data["sequential"], write=data["write"],
+                seconds=data["seconds"],
+                labels=tuple(str(s) for s in data["labels"]),
+            )
 
 
 @dataclass

@@ -36,7 +36,7 @@ from repro.db.engine import Database
 from repro.hardware.profiles import pvc_settings_grid
 from repro.hardware.system import SystemUnderTest
 from repro.measurement.protocol import MeasurementProtocol
-from repro.workloads.runner import WorkloadRunner
+from repro.workloads.runner import TraceCache, WorkloadRunner
 
 
 @dataclass
@@ -176,4 +176,126 @@ def compare_sweep_paths(
         max_rel_diff_reuse=_max_rel_diff(naive.points, reuse.points),
         max_rel_diff_cold=_max_rel_diff(naive.points, cold.points),
         max_rel_diff_cached=_max_rel_diff(naive.points, cached.points),
+    )
+
+
+# -- cluster playback: batched stack vs per-query replay loop -------------
+
+#: Canonical cluster-scaling scenario, shared by
+#: ``benchmarks/bench_cluster_scaling.py`` and ``scripts/perf_report.py``
+#: so both write comparable ``cluster_scaling`` records.
+CLUSTER_DISTINCT = 50
+CLUSTER_MEAN_INTERARRIVAL_S = 0.01
+CLUSTER_ARRIVAL_SEED = 7
+
+
+def cluster_scaling_scenario() -> tuple[list, object, list]:
+    """(specs, router, arrivals) for the canonical scaling comparison.
+
+    16 nodes x 10k arrivals by default; ``REPRO_BENCH_CLUSTER_NODES`` /
+    ``REPRO_BENCH_CLUSTER_ARRIVALS`` shrink it for CI smoke runs.
+    """
+    import os
+
+    from repro.cluster import RoundRobinRouter, uniform_fleet
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.selection import selection_workload
+
+    nodes = int(os.environ.get("REPRO_BENCH_CLUSTER_NODES", "16"))
+    count = int(os.environ.get("REPRO_BENCH_CLUSTER_ARRIVALS", "10000"))
+    queries = selection_workload(CLUSTER_DISTINCT).queries
+    stream = poisson_arrivals(
+        [queries[i % CLUSTER_DISTINCT] for i in range(count)],
+        CLUSTER_MEAN_INTERARRIVAL_S, seed=CLUSTER_ARRIVAL_SEED,
+    )
+    return uniform_fleet(nodes), RoundRobinRouter(), stream
+
+
+@dataclass
+class ClusterPerfComparison:
+    """Batched fleet playback vs the per-query replay loop.
+
+    Both paths play the *same* schedule (same routed timelines), so the
+    comparison isolates playback: one stacked array call per distinct
+    PVC setting versus one ``run_compiled`` call per scheduled piece.
+    ``max_rel_diff`` is the worst per-node relative deviation in wall
+    energy, CPU energy, and duration -- float-summation noise, never a
+    real difference.
+    """
+
+    nodes: int
+    arrivals: int
+    scale_factor: float | None
+    distinct_queries: int
+    scheduled_pieces: int
+    schedule_wall_s: float
+    batched_wall_s: float
+    loop_wall_s: float
+    batched_wall_joules: float
+    loop_wall_joules: float
+    max_rel_diff: float
+
+    @property
+    def speedup(self) -> float:
+        """Playback-phase speedup of the batched stack over the loop."""
+        return self.loop_wall_s / self.batched_wall_s
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        """Schedule + playback, both paths paying the same event loop."""
+        return (
+            (self.schedule_wall_s + self.loop_wall_s)
+            / (self.schedule_wall_s + self.batched_wall_s)
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["speedup"] = self.speedup
+        out["end_to_end_speedup"] = self.end_to_end_speedup
+        return out
+
+
+def compare_cluster_playback(
+    db: Database,
+    specs,
+    router,
+    arrivals,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> ClusterPerfComparison:
+    """Time batched vs per-query-loop playback of one cluster schedule."""
+    from repro.cluster.simulator import ClusterSimulator
+
+    sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache)
+    start = time.perf_counter()
+    schedule = sim.schedule(arrivals)
+    schedule_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = sim.playback(schedule, mode="batched")
+    batched_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loop = sim.playback(schedule, mode="loop")
+    loop_wall = time.perf_counter() - start
+
+    worst = 0.0
+    for a, b in zip(batched.nodes, loop.nodes):
+        for key in ("wall_joules", "cpu_joules", "duration_s"):
+            x = getattr(a.playback, key)
+            y = getattr(b.playback, key)
+            worst = max(worst, abs(x - y) / (abs(x) or 1.0))
+
+    return ClusterPerfComparison(
+        nodes=len(specs),
+        arrivals=len(arrivals),
+        scale_factor=scale_factor,
+        distinct_queries=len({a.sql for a in arrivals}),
+        scheduled_pieces=schedule.scheduled_pieces,
+        schedule_wall_s=schedule_wall,
+        batched_wall_s=batched_wall,
+        loop_wall_s=loop_wall,
+        batched_wall_joules=batched.wall_joules,
+        loop_wall_joules=loop.wall_joules,
+        max_rel_diff=worst,
     )

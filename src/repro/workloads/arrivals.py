@@ -9,6 +9,7 @@ tests.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,22 @@ def bursty_arrivals(queries: list[str], burst_size: int,
             now += within_burst_s
         out.append(Arrival(sql, now))
     return out
+
+
+def merge_arrivals(*streams: list[Arrival]) -> list[Arrival]:
+    """Time-ordered merge of several tenants' arrival streams.
+
+    Each input stream must already be sorted by ``time_s`` (every
+    generator in this module produces sorted streams).  The merge is
+    *stable* for ties: simultaneous arrivals keep the order of the
+    stream arguments, and within one stream their original order --
+    which makes multi-tenant cluster scenarios reproducible.
+    """
+    for stream in streams:
+        for a, b in zip(stream, stream[1:]):
+            if b.time_s < a.time_s:
+                raise ValueError("each stream must be sorted by time_s")
+    return list(heapq.merge(*streams, key=lambda a: a.time_s))
 
 
 def drain_through_queue(arrivals: list[Arrival], queue) -> list:

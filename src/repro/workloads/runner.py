@@ -18,11 +18,23 @@ SUT's vectorized playback path.  Sweeps over settings and repeated
 measurement runs pay for database execution once instead of per point.
 ``run_queries`` keeps the original execute-every-time semantics (needed
 by the warm/cold experiments, whose first run mutates the buffer pool).
+
+Memory and persistence
+----------------------
+Replay only needs the *compiled trace*; the result rows matter solely
+to QED's splitter.  Cache entries therefore drop their
+:class:`~repro.db.results.QueryResult` row data once the trace is
+compiled unless the caller asks to keep it (``keep_result=True``), so
+long sweeps and fleet-scale cluster runs do not pin every result set.
+A :class:`TraceCache` can additionally persist compiled traces to disk
+(``.npz``) so benchmarks reuse executions across processes.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.db.engine import Database
 from repro.db.results import QueryResult
@@ -33,15 +45,108 @@ from repro.workloads.client import ClientModel
 
 @dataclass
 class QueryExecution:
-    """One executed query: its result and its hardware work trace."""
+    """One executed query: its result and its hardware work trace.
+
+    ``result`` is ``None`` once the row data has been evicted (replay
+    needs only the compiled trace) or when the execution was restored
+    from a :class:`TraceCache` in a later process.  ``trace`` is ``None``
+    only in the restored case; the compiled form is always available.
+    """
 
     sql: str
-    result: QueryResult
-    trace: Trace
+    result: QueryResult | None
+    trace: Trace | None
+    _compiled: CompiledTrace | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def compiled_trace(self) -> CompiledTrace:
         """The trace's packed form for vectorized replay (memoized)."""
-        return self.trace.compiled()
+        if self._compiled is None:
+            if self.trace is None:
+                raise ValueError(
+                    "execution has neither a trace nor a compiled trace"
+                )
+            self._compiled = self.trace.compiled()
+        return self._compiled
+
+    def release_result(self) -> None:
+        """Drop the result row data, keeping the (compiled) trace.
+
+        Only QED's splitter reads cached results; everything on the
+        replay path works from the compiled trace alone.
+        """
+        self.compiled_trace()  # make sure playback needs nothing else
+        self.result = None
+
+    @classmethod
+    def from_compiled(cls, sql: str,
+                      compiled: CompiledTrace) -> "QueryExecution":
+        """An execution restored from a persisted compiled trace."""
+        return cls(sql, result=None, trace=None, _compiled=compiled)
+
+
+class TraceCache:
+    """Directory-backed store of compiled traces, keyed by opaque strings.
+
+    Entries are ``.npz`` archives (see :meth:`CompiledTrace.save`) named
+    by a SHA-256 of ``namespace`` + key (the runner keys entries by its
+    client-model fingerprint plus the SQL text).  The namespace must
+    identify everything else the trace depends on -- engine profile,
+    scale factor, seed, warm/cold state -- because unlike the in-process
+    execution cache there is no generation counter to invalidate stale
+    entries across processes.  Intended for steady-state benchmark
+    workloads (warmed or memory-engine databases).
+    """
+
+    def __init__(self, directory: str | Path, namespace: str = ""):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def for_workload(
+        cls,
+        directory: str | Path,
+        engine: str,
+        scale_factor: float,
+        seed: int = 0,
+        tables: tuple[str, ...] | list[str] | None = None,
+    ) -> "TraceCache":
+        """A cache namespaced by everything a TPC-H trace depends on.
+
+        Every entry point that shares a cache directory (cluster CLI,
+        ``scripts/perf_report.py``, the benchmark suite) must build the
+        namespace through here, or equal workloads silently miss each
+        other's entries.
+        """
+        tables_key = "-".join(tables) if tables else "all"
+        return cls(
+            directory,
+            namespace=(
+                f"{engine}-sf{scale_factor}-seed{seed}-{tables_key}"
+            ),
+        )
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(
+            f"{self.namespace}\x00{key}".encode()
+        ).hexdigest()
+        return self.directory / f"{digest}.npz"
+
+    def get(self, key: str) -> CompiledTrace | None:
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CompiledTrace.load(path)
+
+    def put(self, key: str, compiled: CompiledTrace) -> None:
+        self._path(key).parent.mkdir(parents=True, exist_ok=True)
+        compiled.save(self._path(key))
 
 
 @dataclass
@@ -84,11 +189,21 @@ class WorkloadRunner:
         sut: SystemUnderTest,
         client: ClientModel | None = None,
         include_client_work: bool = True,
+        trace_cache: TraceCache | None = None,
     ):
         self.db = db
         self.sut = sut
         self.client = client if client is not None else ClientModel()
         self.include_client_work = include_client_work
+        self.trace_cache = trace_cache
+        #: persisted traces embed client-work segments, so the client
+        #: configuration folds into every disk-cache key -- runners with
+        #: different client models sharing a directory must never
+        #: exchange entries.
+        self._trace_key_prefix = (
+            f"client={self.client!r};"
+            f"include={self.include_client_work}\x00"
+        )
         self._execution_cache: dict[str, tuple[int, QueryExecution]] = {}
         self.execution_cache_hits = 0
         self.execution_cache_misses = 0
@@ -126,21 +241,53 @@ class WorkloadRunner:
 
     # -- execute-once / replay-many ---------------------------------------
 
-    def cached_execution(self, sql: str, label: str = "query"
-                         ) -> QueryExecution:
+    def cached_execution(self, sql: str, label: str = "query",
+                         keep_result: bool = True) -> QueryExecution:
         """Execute ``sql`` once; serve repeats from the execution cache.
 
         Cache entries are keyed by SQL text plus the database generation,
         so DDL and buffer-pool changes (``drop_table``, ``cool``, ...)
         transparently force a fresh execution.
+
+        ``keep_result=False`` (the replay/cluster hot path) evicts the
+        result row data once the trace is compiled and may serve the
+        entry from the runner's :class:`TraceCache`, if one is
+        configured.  A later ``keep_result=True`` call on an entry whose
+        result was evicted re-executes to recover it (QED's splitter is
+        the only such consumer).
         """
         generation = self.db.generation
         cached = self._execution_cache.get(sql)
-        if cached is not None and cached[0] == generation:
+        #: a generation mismatch means this process *knows* the disk
+        #: entry (written by us at the old generation) is stale too --
+        #: bypass the trace cache and re-execute/overwrite it.
+        stale = cached is not None and cached[0] != generation
+        if cached is not None and not stale:
+            execution = cached[1]
+            if keep_result and execution.result is None:
+                # Result was evicted (or trace-cache restored); recover.
+                self.execution_cache_misses += 1
+                execution = self.execute_query(sql, label=label)
+                self._execution_cache[sql] = (generation, execution)
+                return execution
             self.execution_cache_hits += 1
-            return cached[1]
+            # An entry still holding its result was explicitly requested
+            # with keep_result=True; callers may hold the aliased object,
+            # so a later keep_result=False hit must not null it out.
+            return execution
         self.execution_cache_misses += 1
+        disk_key = self._trace_key_prefix + sql
+        if not keep_result and not stale and self.trace_cache is not None:
+            compiled = self.trace_cache.get(disk_key)
+            if compiled is not None:
+                execution = QueryExecution.from_compiled(sql, compiled)
+                self._execution_cache[sql] = (generation, execution)
+                return execution
         execution = self.execute_query(sql, label=label)
+        if self.trace_cache is not None:
+            self.trace_cache.put(disk_key, execution.compiled_trace())
+        if not keep_result:
+            execution.release_result()
         self._execution_cache[sql] = (generation, execution)
         return execution
 
@@ -162,11 +309,15 @@ class WorkloadRunner:
         Each distinct query is executed at most once (across *all*
         ``replay_queries`` calls on this runner); its cached trace is
         re-costed under the current PVC setting via vectorized playback.
+        Cached entries keep only the compiled trace -- result rows are
+        evicted so sweeps over many settings stay memory-flat.
         """
         per_query: list[RunMeasurement] = []
         total: RunMeasurement | None = None
         for i, sql in enumerate(queries):
-            execution = self.cached_execution(sql, label=f"{label}{i}")
+            execution = self.cached_execution(
+                sql, label=f"{label}{i}", keep_result=False
+            )
             measurement = self.run_execution(
                 execution, with_timeline=with_timeline
             )

@@ -220,6 +220,11 @@ class TestSortDistinctLimit:
         # pin the full pre-limit arrays alive.
         assert not np.shares_memory(head.columns["t.x"].raw(), data)
         assert batch.head(100).n_rows == 10
+        # A programmatically built plan can carry a negative limit; it
+        # degrades to an empty batch, never an inconsistent one.
+        empty = batch.head(-2)
+        assert empty.n_rows == 0
+        assert len(empty.columns["t.x"]) == 0
 
 
 class TestDescendingKey:

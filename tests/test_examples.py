@@ -14,6 +14,7 @@ SCRIPTS = [
     "qed_batching.py",
     "disk_energy_survey.py",
     "energy_aware_optimizer.py",
+    "cluster_energy_policies.py",
 ]
 
 

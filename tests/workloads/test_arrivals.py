@@ -6,8 +6,10 @@ from hypothesis import given, strategies as st
 from repro.core.qed.policy import BatchPolicy
 from repro.core.qed.queue import QueryQueue
 from repro.workloads.arrivals import (
+    Arrival,
     bursty_arrivals,
     drain_through_queue,
+    merge_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
@@ -55,6 +57,51 @@ class TestStreams:
             uniform_arrivals(QUERIES, -1.0)
         with pytest.raises(ValueError):
             bursty_arrivals(QUERIES, 0, 1.0)
+
+
+class TestMergeArrivals:
+    def test_time_ordered_merge(self):
+        a = poisson_arrivals(QUERIES[:10], 2.0, seed=1)
+        b = poisson_arrivals(QUERIES[10:], 3.0, seed=2)
+        merged = merge_arrivals(a, b)
+        times = [x.time_s for x in merged]
+        assert times == sorted(times)
+        assert len(merged) == len(a) + len(b)
+        assert sorted(x.sql for x in merged) == sorted(
+            x.sql for x in a + b
+        )
+
+    def test_stable_for_ties(self):
+        a = [Arrival("a1", 1.0), Arrival("a2", 2.0)]
+        b = [Arrival("b1", 1.0), Arrival("b2", 2.0)]
+        merged = merge_arrivals(a, b)
+        assert [x.sql for x in merged] == ["a1", "b1", "a2", "b2"]
+        # Argument order decides the tie, reproducibly.
+        swapped = merge_arrivals(b, a)
+        assert [x.sql for x in swapped] == ["b1", "a1", "b2", "a2"]
+
+    def test_empty_and_single_stream(self):
+        a = uniform_arrivals(QUERIES[:3], 1.0)
+        assert merge_arrivals(a) == a
+        assert merge_arrivals([], a, []) == a
+        assert merge_arrivals() == []
+
+    def test_unsorted_stream_rejected(self):
+        with pytest.raises(ValueError):
+            merge_arrivals([Arrival("x", 2.0), Arrival("y", 1.0)])
+
+    @given(seeds=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=4,
+        unique=True,
+    ))
+    def test_merge_preserves_within_stream_order(self, seeds):
+        streams = [
+            poisson_arrivals(QUERIES[:5], 1.0, seed=s) for s in seeds
+        ]
+        merged = merge_arrivals(*streams)
+        for stream in streams:
+            positions = [merged.index(x) for x in stream]
+            assert positions == sorted(positions)
 
 
 class TestDrainThroughQueue:
