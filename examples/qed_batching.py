@@ -15,7 +15,6 @@ import sys
 import numpy as np
 
 import repro
-from repro.core.qed.queue import QueryQueue
 
 
 def main() -> None:

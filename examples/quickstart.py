@@ -50,6 +50,11 @@ def main() -> None:
     print("\nnext: serve an arrival stream across a simulated fleet --")
     print("  python -m repro cluster --nodes 8 --arrivals 500 "
           "--policy consolidate")
+    print("or a full day of diurnal traffic with dynamic "
+          "re-consolidation --")
+    print("  python -m repro cluster --profile diurnal --policy dynamic "
+          "--fleet examples/hetero_fleet.json")
+    print("  python examples/diurnal_consolidation.py")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,163 @@
+"""Gate CI on performance trends recorded in ``BENCH_perf.json``.
+
+    PYTHONPATH=src python scripts/check_bench_trend.py \
+        [--fresh SMOKE.json] [--baseline BENCH_perf.json] \
+        [--keys speedup_cached cluster_scaling.speedup ...] \
+        [--max-regression 0.20] [--record]
+
+Compares freshly measured speedups (the artifact the benchmark suite
+just wrote) against the committed ``BENCH_perf.json``:
+
+* when the fresh run's *configuration* (scale factor, fleet size,
+  arrival counts) matches the committed record, a key may not regress
+  by more than ``--max-regression`` (20% by default) -- the trend gate;
+* when configurations differ (the CI smoke runs shrink the scenarios),
+  only the absolute floor applies (every gated speedup must stay
+  >= 5x), because a smaller scenario legitimately amortizes less --
+  a smoke run failing a full-size trend threshold would be noise,
+  not signal.
+
+``--record`` appends the fresh values to the baseline's ``history``
+array (timestamp + configuration + gated keys), making the perf
+trajectory machine-readable; ``scripts/perf_report.py`` does the same
+on every full-size artifact refresh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_KEYS = (
+    "speedup_cached",
+    "cluster_scaling.speedup",
+    "diurnal.hetero_speedup",
+)
+#: Absolute floor every gated speedup must clear regardless of config.
+SPEEDUP_FLOOR = 5.0
+
+
+def dig(record: dict, dotted: str):
+    """Resolve ``a.b.c`` in nested dicts (None when absent)."""
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+#: Per-key-family configuration fields that must match for the trend
+#: (regression-vs-baseline) rule to be meaningful.
+CONFIG_FIELDS = {
+    "speedup_cached": ("scale_factor", "num_queries", "repeats"),
+    "cluster_scaling.speedup": (
+        "cluster_scaling.nodes", "cluster_scaling.arrivals",
+        "cluster_scaling.scale_factor",
+    ),
+    "diurnal.hetero_speedup": (
+        "diurnal.arrivals", "diurnal.horizon_s", "diurnal.scale_factor",
+    ),
+}
+
+
+def configs_match(key: str, fresh: dict, baseline: dict) -> bool:
+    fields = CONFIG_FIELDS.get(key, ())
+    return all(dig(fresh, f) == dig(baseline, f) for f in fields)
+
+
+def history_entry(record: dict, keys=DEFAULT_KEYS) -> dict:
+    """One machine-readable trajectory point from an artifact."""
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale_factor": record.get("scale_factor"),
+    }
+    for key in keys:
+        value = dig(record, key)
+        if value is not None:
+            entry[key] = value
+    return entry
+
+
+def append_history(baseline_path: Path, record: dict,
+                   keys=DEFAULT_KEYS) -> None:
+    """Append ``record``'s gated values to the baseline's history."""
+    baseline = (
+        json.loads(baseline_path.read_text())
+        if baseline_path.exists() else {}
+    )
+    baseline.setdefault("history", []).append(
+        history_entry(record, keys)
+    )
+    baseline_path.write_text(json.dumps(baseline, indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", type=Path,
+                        default=Path("/tmp/BENCH_perf_smoke.json"),
+                        help="freshly measured artifact")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_perf.json"))
+    parser.add_argument("--keys", nargs="+", default=list(DEFAULT_KEYS))
+    parser.add_argument("--max-regression", type=float, default=0.20)
+    parser.add_argument("--record", action="store_true",
+                        help="append the fresh values to the baseline's "
+                             "history array")
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"error: fresh artifact {args.fresh} not found "
+              "(run the benchmark suite first)", file=sys.stderr)
+        return 2
+    fresh = json.loads(args.fresh.read_text())
+    baseline = (
+        json.loads(args.baseline.read_text())
+        if args.baseline.exists() else {}
+    )
+
+    failures = []
+    for key in args.keys:
+        value = dig(fresh, key)
+        if value is None:
+            failures.append(f"{key}: missing from fresh artifact")
+            continue
+        status = f"{key}: fresh {value:.1f}x"
+        if value < SPEEDUP_FLOOR:
+            failures.append(
+                f"{key}: {value:.2f}x is under the {SPEEDUP_FLOOR:g}x floor"
+            )
+            continue
+        base = dig(baseline, key)
+        if base is None:
+            status += "  (no baseline; floor gate only)"
+        elif not configs_match(key, fresh, baseline):
+            status += (f"  (baseline {base:.1f}x at a different config; "
+                       "floor gate only)")
+        else:
+            threshold = (1.0 - args.max_regression) * base
+            status += f"  vs baseline {base:.1f}x (needs >= {threshold:.1f}x)"
+            if value < threshold:
+                failures.append(
+                    f"{key}: {value:.2f}x regressed > "
+                    f"{args.max_regression:.0%} from baseline {base:.2f}x"
+                )
+        print(status)
+
+    if args.record:
+        append_history(args.baseline, fresh, args.keys)
+        print(f"recorded history entry in {args.baseline}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("perf trend OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

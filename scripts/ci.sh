@@ -1,27 +1,80 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite plus the perf smoke bench.
+# CI entry point, tiered so the workflow can fan stages out:
 #
-#   scripts/ci.sh
+#   scripts/ci.sh                  # everything (lint -> tests -> perf -> cluster)
+#   scripts/ci.sh --stage lint     # syntax/bytecode sanity only
+#   scripts/ci.sh --stage tests    # tier-1 pytest suite
+#   scripts/ci.sh --stage perf     # sweep perf smoke bench
+#   scripts/ci.sh --stage cluster  # cluster + diurnal smoke benches
 #
-# The perf bench runs the 7-setting x 5-repeat sweep comparison at a
-# tiny scale factor and enforces the >= 5x replay speedup gate (it also
-# refreshes BENCH_perf.json; commit that only from a full-size run).
+# The perf benches run at a tiny scale factor and enforce the >= 5x
+# speedup gates (they also refresh the smoke copy of BENCH_perf.json;
+# commit the real artifact only from a full-size run).  After the
+# benches, scripts/check_bench_trend.py compares the freshly measured
+# speedups against the committed BENCH_perf.json and fails on a > 20%
+# regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+STAGE="all"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --stage) STAGE="$2"; shift 2 ;;
+        *) echo "usage: scripts/ci.sh [--stage lint|tests|perf|cluster|all]" >&2
+           exit 2 ;;
+    esac
+done
+
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+SMOKE_JSON="${TMPDIR:-/tmp}/BENCH_perf_smoke.json"
 
-echo "== tier-1 test suite =="
-python -m pytest -x -q
+run_lint() {
+    echo "== lint (compile + pyflakes if available) =="
+    python -m compileall -q src tests benchmarks scripts examples
+    if python -c "import pyflakes" 2>/dev/null; then
+        python -m pyflakes src tests benchmarks scripts examples
+    else
+        echo "pyflakes not installed; bytecode compile only"
+    fi
+}
 
-echo "== perf smoke bench (SF ${REPRO_BENCH_SF:-0.01}) =="
-REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
-    python -m pytest benchmarks/bench_perf_pipeline.py -x -q
+run_tests() {
+    echo "== tier-1 test suite =="
+    python -m pytest -x -q
+}
 
-echo "== cluster scaling smoke bench =="
-REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
-REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
-REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
-    python -m pytest benchmarks/bench_cluster_scaling.py -x -q
+run_perf() {
+    echo "== perf smoke bench (SF ${REPRO_BENCH_SF:-0.01}) =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+        python -m pytest benchmarks/bench_perf_pipeline.py -x -q
+    echo "== perf trend gate (sweep) =="
+    python scripts/check_bench_trend.py \
+        --fresh "$SMOKE_JSON" --keys speedup_cached
+}
 
-echo "CI OK"
+run_cluster() {
+    echo "== cluster scaling smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
+    REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
+        python -m pytest benchmarks/bench_cluster_scaling.py -x -q
+    echo "== diurnal ablation smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_DIURNAL_HORIZON="${REPRO_BENCH_DIURNAL_HORIZON:-120}" \
+        python -m pytest benchmarks/bench_ablation_diurnal.py -x -q
+    echo "== perf trend gate (cluster) =="
+    python scripts/check_bench_trend.py \
+        --fresh "$SMOKE_JSON" \
+        --keys cluster_scaling.speedup diurnal.hetero_speedup
+}
+
+case "$STAGE" in
+    lint)    run_lint ;;
+    tests)   run_tests ;;
+    perf)    run_perf ;;
+    cluster) run_cluster ;;
+    all)     run_lint; run_tests; run_perf; run_cluster ;;
+    *) echo "unknown stage: $STAGE" >&2; exit 2 ;;
+esac
+
+echo "CI OK ($STAGE)"

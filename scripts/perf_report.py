@@ -1,9 +1,11 @@
-"""Time the perf pipelines (sweep + cluster) and write BENCH_perf.json.
+"""Time the perf pipelines (sweep + cluster + diurnal) and write
+``BENCH_perf.json``.
 
     PYTHONPATH=src python scripts/perf_report.py [sf] [out.json] \
         [--trace-cache DIR]
+    PYTHONPATH=src python scripts/perf_report.py --check [out.json]
 
-Runs two comparisons and records both in one artifact:
+Runs three comparisons and records them in one artifact:
 
 * the 7-setting x 5-repeat PVC sweep over the ten-query selection
   workload, naive re-execution vs execute-once/replay-many (cold and
@@ -12,7 +14,19 @@ Runs two comparisons and records both in one artifact:
 * the cluster scaling scenario (16 nodes x 10k arrivals by default,
   ``REPRO_BENCH_CLUSTER_NODES``/``_ARRIVALS`` override), batched
   fleet playback vs the per-query replay loop, appended under the
-  ``cluster_scaling`` key.
+  ``cluster_scaling`` key;
+* the diurnal ablation (four fleet policies on a heterogeneous fleet
+  under the day/night rate schedule), appended under ``diurnal``,
+  including the heterogeneous batched-vs-loop playback comparison.
+
+Every artifact refresh also appends a ``history`` entry (timestamp +
+gated speedups), so the perf trajectory stays machine-readable --
+``scripts/check_bench_trend.py`` gates CI on it.
+
+``--check`` re-validates the *recorded* gates of an existing artifact
+without measuring anything (used by the CI workflow): every speedup
+>= 5x, every playback deviation <= 1e-9, and dynamic re-consolidation
+beating static spread at the shared SLA budget.
 
 ``--trace-cache DIR`` persists compiled traces across processes: a
 second invocation pointed at the same directory skips the cluster
@@ -26,22 +40,56 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro.db.profiles import mysql_profile
-from repro.hardware.profiles import paper_sut
-from repro.measurement.perf import (
-    cluster_scaling_scenario,
-    compare_cluster_playback,
-    compare_sweep_paths,
-)
-from repro.workloads.runner import TraceCache
-from repro.workloads.selection import SelectionWorkload
-from repro.workloads.tpch.generator import tpch_database
+from check_bench_trend import append_history
 
 DEFAULT_SF = 0.02
 #: Same guard as benchmarks/conftest.py: sub-full-size runs must not
 #: clobber the committed artifact.
 ARTIFACT_MIN_SF = 0.05
 COMMITTED_ARTIFACT = Path("BENCH_perf.json")
+
+#: The recorded gates ``--check`` enforces: (dotted key, kind, bound).
+CHECK_GATES = [
+    ("speedup_cold", "min", 5.0),
+    ("max_rel_diff_cold", "max", 1e-9),
+    ("cluster_scaling.speedup", "min", 5.0),
+    ("cluster_scaling.max_rel_diff", "max", 1e-9),
+    ("diurnal.hetero_speedup", "min", 5.0),
+    ("diurnal.hetero_max_rel_diff", "max", 1e-9),
+    ("diurnal.dynamic_beats_spread", "true", None),
+]
+
+
+def run_check(path: Path) -> int:
+    from check_bench_trend import dig
+
+    if not path.exists():
+        print(f"error: artifact {path} not found")
+        return 2
+    record = json.loads(path.read_text())
+    failures = []
+    for key, kind, bound in CHECK_GATES:
+        value = dig(record, key)
+        if value is None:
+            failures.append(f"{key}: not recorded")
+            continue
+        ok = (
+            value >= bound if kind == "min"
+            else value <= bound if kind == "max"
+            else bool(value)
+        )
+        bound_text = (
+            f">= {bound:g}" if kind == "min"
+            else f"<= {bound:g}" if kind == "max" else "true"
+        )
+        print(f"{'ok  ' if ok else 'FAIL'} {key} = {value} ({bound_text})")
+        if not ok:
+            failures.append(f"{key} = {value} violates {bound_text}")
+    if failures:
+        print(f"{len(failures)} recorded gate(s) failing")
+        return 1
+    print("all recorded gates pass")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,7 +99,25 @@ def main(argv: list[str] | None = None) -> int:
                         default=COMMITTED_ARTIFACT)
     parser.add_argument("--trace-cache", default=None, metavar="DIR",
                         help="persist compiled traces across processes")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the recorded artifact's gates "
+                             "and exit (no measurement)")
     args = parser.parse_args(argv)
+    if args.check:
+        return run_check(args.out)
+
+    from repro.db.profiles import mysql_profile
+    from repro.hardware.profiles import paper_sut
+    from repro.measurement.perf import (
+        cluster_scaling_scenario,
+        compare_cluster_playback,
+        compare_sweep_paths,
+        run_diurnal_ablation,
+    )
+    from repro.workloads.runner import TraceCache
+    from repro.workloads.selection import SelectionWorkload
+    from repro.workloads.tpch.generator import tpch_database
+
     if args.out == COMMITTED_ARTIFACT and args.sf < ARTIFACT_MIN_SF:
         # Mirror the bench suite: smoke numbers never clobber the
         # committed record unless an output path is given explicitly.
@@ -102,12 +168,29 @@ def main(argv: list[str] | None = None) -> int:
           f"(end-to-end {cluster.end_to_end_speedup:.1f}x)")
     print(f"max energy deviation  : {cluster.max_rel_diff:.2e} (relative)")
 
+    diurnal = run_diurnal_ablation(
+        db, scale_factor=args.sf, trace_cache=trace_cache
+    )
+    print(f"\ndiurnal ablation      : {diurnal.arrivals} arrivals over "
+          f"{diurnal.horizon_s:.0f} s "
+          f"(SLA {diurnal.sla_s:g} s, budget {diurnal.sla_budget:.0%})")
+    for name, stats in diurnal.policies.items():
+        print(f"  {name:12s} {stats['wall_joules']:9.1f} J  "
+              f"awake {stats['awake_node_s']:7.1f} n·s  "
+              f"re-sleeps {stats['re_sleeps']:3d}  "
+              f"SLA misses {stats['sla_misses']:3d}")
+    print(f"hetero playback       : {diurnal.hetero_speedup:.1f}x "
+          f"(deviation {diurnal.hetero_max_rel_diff:.2e})")
+    print(f"dynamic beats spread  : {diurnal.dynamic_beats_spread}")
+
     record = (
         json.loads(args.out.read_text()) if args.out.exists() else {}
     )
     record.update(comparison.to_dict())
     record["cluster_scaling"] = cluster.to_dict()
+    record["diurnal"] = diurnal.to_dict()
     args.out.write_text(json.dumps(record, indent=2))
+    append_history(args.out, record)
     print(f"wrote {args.out}")
 
     ok = (
@@ -115,6 +198,9 @@ def main(argv: list[str] | None = None) -> int:
         and comparison.max_rel_diff_cold <= 1e-9
         and cluster.speedup >= 5.0
         and cluster.max_rel_diff <= 1e-9
+        and diurnal.hetero_speedup >= 5.0
+        and diurnal.hetero_max_rel_diff <= 1e-9
+        and diurnal.dynamic_beats_spread
     )
     return 0 if ok else 1
 

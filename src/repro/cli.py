@@ -6,6 +6,8 @@
     python -m repro disk
     python -m repro warmcold --sf 0.05
     python -m repro cluster --nodes 8 --arrivals 500 --policy consolidate
+    python -m repro cluster --profile diurnal --policy dynamic \
+        --fleet examples/hetero_fleet.json --window 30
     python -m repro experiments --sf 0.02      # everything, compact
 
 Each reproduction command prints a paper-vs-measured table (see
@@ -101,10 +103,83 @@ def cmd_warmcold(args) -> int:
     return 1 if bad else 0
 
 
+def _load_fleet(path: str):
+    """Node specs from a fleet-description JSON file.
+
+    Schema: ``{"groups": [{"count": 2, "prefix": "big", "hw": "paper",
+    "underclock_pct": 0, "downgrade": "none", "capacity": 1.0,
+    "sleep_wall_w": 3.5, "wake_latency_s": 30.0}, ...]}`` -- every key
+    but ``count`` optional.
+    """
+    import json
+
+    from repro.cluster import NodeGroup, hetero_fleet
+    from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    groups = []
+    for i, raw in enumerate(doc.get("groups", [])):
+        extra = set(raw) - {
+            "count", "prefix", "hw", "underclock_pct", "downgrade",
+            "capacity", "sleep_wall_w", "wake_latency_s",
+        }
+        if extra:
+            raise ValueError(f"fleet group {i}: unknown keys {sorted(extra)}")
+        groups.append(NodeGroup(
+            count=int(raw["count"]),
+            prefix=raw.get("prefix", f"g{i}n"),
+            hw=raw.get("hw", "paper"),
+            setting=PvcSetting(
+                float(raw.get("underclock_pct", 0.0)),
+                VoltageDowngrade(raw.get("downgrade", "none")),
+            ),
+            capacity=float(raw.get("capacity", 1.0)),
+            sleep_wall_w=float(raw.get("sleep_wall_w", 3.5)),
+            wake_latency_s=float(raw.get("wake_latency_s", 30.0)),
+        ))
+    return hetero_fleet(groups)
+
+
+def _build_stream(args, queries: list[str]):
+    """(arrivals, schedule-or-None) for the chosen load profile."""
+    from repro.workloads.arrivals import (
+        bursty_arrivals,
+        diurnal_schedule,
+        poisson_arrivals,
+        ramp_schedule,
+        rate_schedule_arrivals,
+        uniform_arrivals,
+    )
+
+    cycled = [queries[i % len(queries)] for i in range(args.arrivals)]
+    if args.profile == "poisson":
+        return poisson_arrivals(
+            cycled, args.mean_interarrival, seed=args.seed
+        ), None
+    if args.profile == "uniform":
+        return uniform_arrivals(cycled, args.mean_interarrival), None
+    if args.profile == "bursty":
+        return bursty_arrivals(
+            cycled, burst_size=max(1, args.arrivals // 10),
+            burst_gap_s=args.mean_interarrival * 20,
+        ), None
+    if args.profile == "diurnal":
+        schedule = diurnal_schedule(
+            args.base_rate, args.peak_rate, args.period, args.horizon
+        )
+    else:  # ramp
+        schedule = ramp_schedule(args.base_rate, args.peak_rate,
+                                 args.horizon)
+    return rate_schedule_arrivals(queries, schedule, seed=args.seed), schedule
+
+
 def cmd_cluster(args) -> int:
     from repro.cluster import (
+        AdaptivePvcRouter,
         ClusterSimulator,
         ConsolidateRouter,
+        DynamicConsolidateRouter,
         LeastLoadedRouter,
         PowerCapRouter,
         RoundRobinRouter,
@@ -112,7 +187,6 @@ def cmd_cluster(args) -> int:
     )
     from repro.core.qed.policy import BatchPolicy
     from repro.db.profiles import mysql_profile
-    from repro.workloads.arrivals import poisson_arrivals
     from repro.workloads.runner import TraceCache
     from repro.workloads.selection import selection_workload
     from repro.workloads.tpch.generator import tpch_database
@@ -129,12 +203,24 @@ def cmd_cluster(args) -> int:
     # Validate every flag-derived object *before* the expensive
     # database build so bad flags fail fast with a clean message.
     try:
+        queries = selection_workload(args.distinct).queries
+        stream, schedule = _build_stream(args, queries)
         if args.policy == "spread":
             router = RoundRobinRouter()
         elif args.policy == "least":
             router = LeastLoadedRouter()
         elif args.policy == "consolidate":
             router = ConsolidateRouter(max_backlog_s=args.max_backlog)
+        elif args.policy == "dynamic":
+            router = DynamicConsolidateRouter(
+                max_backlog_s=args.max_backlog,
+                target_utilization=args.target_util,
+                hysteresis=args.hysteresis,
+                min_awake=args.min_awake,
+                schedule=schedule,
+            )
+        elif args.policy == "adaptive":
+            router = AdaptivePvcRouter(deadline_s=args.deadline)
         else:
             router = PowerCapRouter(
                 cap_w=args.cap_w, max_delay_s=args.max_delay
@@ -143,17 +229,20 @@ def cmd_cluster(args) -> int:
             BatchPolicy(args.qed_batch, max_wait_s=args.qed_max_wait)
             if args.qed_batch is not None else None
         )
-        specs = uniform_fleet(args.nodes,
-                              wake_latency_s=args.wake_latency,
-                              queue_policy=policy)
-        queries = selection_workload(args.distinct).queries
-        stream = poisson_arrivals(
-            [queries[i % len(queries)] for i in range(args.arrivals)],
-            args.mean_interarrival, seed=args.seed,
-        )
+        if args.fleet is not None:
+            specs = _load_fleet(args.fleet)
+        else:
+            specs = uniform_fleet(args.nodes,
+                                  wake_latency_s=args.wake_latency,
+                                  queue_policy=policy)
+        if args.window is not None and args.window <= 0:
+            raise ValueError("--window must be positive")
         if not stream:
-            raise ValueError("--arrivals must be >= 1")
-    except ValueError as exc:
+            raise ValueError(
+                "the load profile produced no arrivals "
+                "(check --arrivals / the rate flags)"
+            )
+    except (ValueError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -173,8 +262,9 @@ def cmd_cluster(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"\ncluster: {args.nodes} nodes, {args.arrivals} arrivals, "
-          f"policy={args.policy}, playback={args.playback}")
+    print(f"\ncluster: {len(specs)} nodes, {len(stream)} arrivals "
+          f"({args.profile}), policy={args.policy}, "
+          f"playback={args.playback}")
     print(f"  {'node':8s} {'queries':>7} {'util':>6} {'busy s':>8} "
           f"{'idle s':>8} {'sleep s':>8} {'energy J':>10}")
     for n in m.nodes:
@@ -182,7 +272,8 @@ def cmd_cluster(args) -> int:
               f"{n.busy_s:8.2f} {n.idle_s:8.2f} {n.sleep_s:8.2f} "
               f"{n.wall_joules:10.1f}")
     print(f"  served {m.served}, shed {len(m.shed)}, "
-          f"awake nodes {m.awake_nodes}/{len(m.nodes)}")
+          f"awake nodes {m.awake_nodes}/{len(m.nodes)}, "
+          f"re-sleeps {m.re_sleeps}")
     print(f"  horizon        : {m.horizon_s:10.2f} s")
     print(f"  wall energy    : {m.wall_joules:10.1f} J "
           f"(avg {m.avg_power_w:.1f} W, peak model {m.peak_power_w:.1f} W)")
@@ -193,6 +284,16 @@ def cmd_cluster(args) -> int:
     if args.sla is not None:
         print(f"  SLA {args.sla:.3f}s misses: "
               f"{m.sla_violations(args.sla)}")
+    if args.window is not None:
+        print(f"\n  phase report ({args.window:g} s windows):")
+        print(f"  {'window':>14} {'arrivals':>8} {'modeled J':>10} "
+              f"{'avg W':>7} {'awake n·s':>9} {'re-sleep':>8} "
+              f"{'p95 ms':>8}")
+        for w in m.window_report(args.window):
+            print(f"  [{w.start_s:5.0f},{w.end_s:6.0f}) {w.arrivals:8d} "
+                  f"{w.modeled_joules:10.1f} {w.avg_power_w:7.1f} "
+                  f"{w.awake_node_s:9.1f} {w.re_sleeps:8d} "
+                  f"{w.p95_response_s*1e3:8.1f}")
     if m.cap_w is not None:
         print(f"  power cap      : {m.cap_w:.1f} W "
               f"(overshoot {m.power_cap_overshoot_w:.2f} W)")
@@ -256,15 +357,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distinct", type=int, default=20,
                    help="distinct selection queries cycled by arrivals")
     p.add_argument("--policy",
-                   choices=("spread", "least", "consolidate", "powercap"),
+                   choices=("spread", "least", "consolidate", "dynamic",
+                            "adaptive", "powercap"),
                    default="spread")
+    p.add_argument("--profile",
+                   choices=("poisson", "uniform", "bursty", "diurnal",
+                            "ramp"),
+                   default="poisson",
+                   help="arrival load profile (diurnal/ramp are "
+                        "rate-schedule driven; --arrivals is ignored)")
+    p.add_argument("--fleet", default=None, metavar="FLEET.json",
+                   help="heterogeneous fleet description (overrides "
+                        "--nodes/--wake-latency/--qed-*)")
     p.add_argument("--mean-interarrival", type=float, default=0.05,
-                   help="Poisson mean inter-arrival time (s)")
+                   help="poisson/uniform mean inter-arrival time (s)")
+    p.add_argument("--base-rate", type=float, default=2.0,
+                   help="diurnal trough / ramp start rate (q/s)")
+    p.add_argument("--peak-rate", type=float, default=20.0,
+                   help="diurnal crest / ramp end rate (q/s)")
+    p.add_argument("--period", type=float, default=120.0,
+                   help="diurnal: seconds per day/night cycle")
+    p.add_argument("--horizon", type=float, default=240.0,
+                   help="diurnal/ramp: stream length (s)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--wake-latency", type=float, default=30.0,
                    help="sleep-to-awake transition (s)")
     p.add_argument("--max-backlog", type=float, default=1.0,
-                   help="consolidate: per-node backlog cap (s)")
+                   help="consolidate/dynamic: per-node backlog cap (s)")
+    p.add_argument("--target-util", type=float, default=0.7,
+                   help="dynamic: awake-set sizing target utilization")
+    p.add_argument("--hysteresis", type=float, default=0.3,
+                   help="dynamic: re-sleep hysteresis band")
+    p.add_argument("--min-awake", type=int, default=1,
+                   help="dynamic: never sleep below this many nodes")
+    p.add_argument("--deadline", type=float, default=0.5,
+                   help="adaptive: per-query response deadline (s)")
+    p.add_argument("--window", type=float, default=None,
+                   help="print a phase report sliced in windows (s)")
     p.add_argument("--cap-w", type=float, default=500.0,
                    help="powercap: fleet wall-power cap (W)")
     p.add_argument("--max-delay", type=float, default=None,

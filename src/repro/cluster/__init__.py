@@ -5,22 +5,37 @@ simulator routes an :class:`~repro.workloads.arrivals.Arrival` stream
 across nodes that each wrap a
 :class:`~repro.hardware.system.SystemUnderTest` with its own PVC
 setting (and optionally a per-node QED queue), under pluggable routing
-policies -- spread, least-loaded, consolidate-with-sleep, power-cap.
-The hot path is batched compiled-trace playback: every node's whole
-timeline plays as one stacked array operation per distinct setting.
+policies -- spread, least-loaded, consolidate-with-sleep, *dynamic*
+re-consolidation (EWMA-sized awake set that re-sleeps drained nodes
+and pre-wakes ahead of scheduled peaks), adaptive per-node PVC
+control, power-cap.  Fleets may be heterogeneous: node groups differ
+in hardware profile, PVC setting, capacity, and sleep/wake
+characteristics.  The hot path is batched compiled-trace playback:
+every node's whole timeline plays as one stacked array operation per
+distinct (hardware profile, setting) pair.
 """
 
 from repro.cluster.measure import (
     ClusterMeasurement,
     NodeUsage,
+    PhaseWindow,
     QueryResponse,
     ShedQuery,
 )
-from repro.cluster.node import NodeSpec, SimulatedNode, uniform_fleet
+from repro.cluster.node import (
+    NodeGroup,
+    NodeSpec,
+    SUT_FACTORIES,
+    SimulatedNode,
+    hetero_fleet,
+    uniform_fleet,
+)
 from repro.cluster.playback import play_batched, play_loop, playback_groups
 from repro.cluster.routing import (
+    AdaptivePvcRouter,
     ConsolidateRouter,
     Decision,
+    DynamicConsolidateRouter,
     LeastLoadedRouter,
     PowerCapRouter,
     RoundRobinRouter,
@@ -29,20 +44,26 @@ from repro.cluster.routing import (
 from repro.cluster.simulator import ClusterSchedule, ClusterSimulator
 
 __all__ = [
+    "AdaptivePvcRouter",
     "ClusterMeasurement",
     "ClusterSchedule",
     "ClusterSimulator",
     "ConsolidateRouter",
     "Decision",
+    "DynamicConsolidateRouter",
     "LeastLoadedRouter",
+    "NodeGroup",
     "NodeSpec",
     "NodeUsage",
+    "PhaseWindow",
     "PowerCapRouter",
     "QueryResponse",
     "RoundRobinRouter",
     "Router",
+    "SUT_FACTORIES",
     "ShedQuery",
     "SimulatedNode",
+    "hetero_fleet",
     "play_batched",
     "play_loop",
     "playback_groups",

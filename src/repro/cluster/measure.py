@@ -57,13 +57,17 @@ class ScheduledWork:
     A plain query occupies one window; a QED batch occupies one window
     for the whole merged execution.  ``trace_key`` indexes the schedule's
     compiled-trace table; ``queries`` carries the (sql, arrival time)
-    pairs answered when the window completes.
+    pairs answered when the window completes.  ``setting`` is the PVC
+    operating point the node held when the window was placed (None:
+    the node's spec setting) -- playback must cost the window under the
+    same setting its service time was computed for.
     """
 
     trace_key: str
     start_s: float
     end_s: float
     queries: tuple[tuple[str, float], ...]
+    setting: object | None = None
 
     @property
     def service_s(self) -> float:
@@ -72,7 +76,13 @@ class ScheduledWork:
 
 @dataclass
 class NodeUsage:
-    """One node's share of a cluster run."""
+    """One node's share of a cluster run.
+
+    The span fields carry the node's timeline shape (busy windows,
+    sleep spans, wake transitions, each as ``(start_s, end_s)`` pairs)
+    plus its linear power envelope, so phase-sliced reporting can
+    attribute modeled energy to arbitrary time windows after the fact.
+    """
 
     name: str
     queries: int
@@ -82,6 +92,13 @@ class NodeUsage:
     horizon_s: float
     playback: RunMeasurement
     sleep_joules: float
+    re_sleeps: int = 0
+    busy_windows: tuple[tuple[float, float], ...] = ()
+    sleep_spans: tuple[tuple[float, float], ...] = ()
+    wake_spans: tuple[tuple[float, float], ...] = ()
+    idle_wall_w: float = 0.0
+    busy_wall_w: float = 0.0
+    sleep_wall_w: float = 0.0
 
     @property
     def idle_s(self) -> float:
@@ -96,6 +113,51 @@ class NodeUsage:
     def wall_joules(self) -> float:
         """Playback wall energy plus the sleep-state draw."""
         return self.playback.wall_joules + self.sleep_joules
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """One time slice of a cluster run (phase-sliced reporting).
+
+    ``modeled_joules`` integrates the per-node linear power envelope
+    (sleep watts asleep, idle watts awake -- wake transitions included
+    -- plus the busy delta inside busy windows) over the window; the
+    playback totals remain the exact energy, this attributes them in
+    time.  ``awake_node_s`` counts node-seconds any node spent out of
+    the sleep state; ``re_sleeps`` counts sleep states *entered* inside
+    the window.
+    """
+
+    start_s: float
+    end_s: float
+    arrivals: int
+    served: int
+    modeled_joules: float
+    awake_node_s: float
+    busy_node_s: float
+    wake_node_s: float
+    sleep_node_s: float
+    re_sleeps: int
+    p95_response_s: float
+
+    @property
+    def span_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.modeled_joules / self.span_s if self.span_s else 0.0
+
+    @property
+    def awake_nodes_avg(self) -> float:
+        return self.awake_node_s / self.span_s if self.span_s else 0.0
+
+
+def _overlap(spans, lo: float, hi: float) -> float:
+    """Total length of ``spans`` clipped to the window ``[lo, hi)``."""
+    return sum(
+        max(0.0, min(end, hi) - max(start, lo)) for start, end in spans
+    )
 
 
 @dataclass
@@ -202,6 +264,89 @@ class ClusterMeasurement:
     def awake_nodes(self) -> int:
         return sum(1 for n in self.nodes if n.playback.duration_s > 0)
 
+    @property
+    def re_sleeps(self) -> int:
+        """Fleet-wide count of re-entered sleep states (dynamic
+        re-consolidation activity; zero for the one-shot policies)."""
+        return sum(n.re_sleeps for n in self.nodes)
+
+    @property
+    def awake_node_s(self) -> float:
+        """Node-seconds spent out of the sleep state over the horizon --
+        the quantity consolidation policies minimize."""
+        return sum(
+            n.horizon_s - n.sleep_s for n in self.nodes
+        )
+
+    def window_report(self, window_s: float) -> list[PhaseWindow]:
+        """Slice the run into fixed windows (per-phase diurnal report).
+
+        Each window attributes modeled energy, awake/busy/wake/sleep
+        node-seconds, arrivals, completions, re-sleeps, and the p95
+        response time of queries *completing* inside it.  Windows tile
+        ``[0, horizon_s)``; the last one is clipped at the horizon.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.horizon_s <= 0:
+            return []
+        count = int(np.ceil(self.horizon_s / window_s))
+        out: list[PhaseWindow] = []
+        for k in range(count):
+            lo = k * window_s
+            hi = min((k + 1) * window_s, self.horizon_s)
+            span = hi - lo
+            # Windows are half-open except the last, which closes at
+            # the horizon -- the horizon IS the final completion time,
+            # so an exclusive bound would drop the last query served.
+            last = k == count - 1
+
+            def inside(t: float) -> bool:
+                return lo <= t < hi or (last and t == hi)
+            busy = wake = sleep = joules = 0.0
+            re_sleeps = 0
+            for n in self.nodes:
+                b = _overlap(n.busy_windows, lo, hi)
+                w = _overlap(n.wake_spans, lo, hi)
+                s = _overlap(n.sleep_spans, lo, hi)
+                busy += b
+                wake += w
+                sleep += s
+                awake = span - s
+                joules += (
+                    n.sleep_wall_w * s
+                    + n.idle_wall_w * (awake - b)
+                    + n.busy_wall_w * b
+                )
+                re_sleeps += sum(
+                    1 for start, _ in n.sleep_spans
+                    if start > 0.0 and inside(start)
+                )
+            window_responses = [
+                r.response_s for r in self.responses
+                if inside(r.completion_s)
+            ]
+            arrivals = sum(
+                1 for r in self.responses if inside(r.arrival_s)
+            ) + sum(1 for q in self.shed if inside(q.arrival_s))
+            out.append(PhaseWindow(
+                start_s=lo,
+                end_s=hi,
+                arrivals=arrivals,
+                served=len(window_responses),
+                modeled_joules=joules,
+                awake_node_s=len(self.nodes) * span - sleep,
+                busy_node_s=busy,
+                wake_node_s=wake,
+                sleep_node_s=sleep,
+                re_sleeps=re_sleeps,
+                p95_response_s=(
+                    float(np.percentile(window_responses, 95.0))
+                    if window_responses else 0.0
+                ),
+            ))
+        return out
+
     def summary(self) -> dict[str, float]:
         """Flat scalar summary (CLI table / benchmark artifacts)."""
         return {
@@ -221,4 +366,6 @@ class ClusterMeasurement:
                 sum(n.utilization for n in self.nodes) / len(self.nodes)
                 if self.nodes else 0.0
             ),
+            "awake_node_s": self.awake_node_s,
+            "re_sleeps": float(self.re_sleeps),
         }

@@ -7,19 +7,46 @@ sleep state for the consolidate policies.  The node tracks *when* things
 happen (busy windows, wake transitions, sleep spans); *what* they cost
 is resolved later by batched compiled-trace playback
 (:mod:`repro.cluster.playback`).
+
+Sleep model: a node alternates between asleep spans (billed at
+``sleep_wall_w`` outside the hardware model) and awake spans.  Every
+sleep-to-awake transition pays ``wake_latency_s`` of awake-idle power
+during which the node cannot serve.  Dynamic re-consolidation uses the
+full cycle -- wake under load, drain, re-sleep, wake again -- so spans
+are lists, not a single one-shot transition.
+
+Heterogeneous fleets: a :class:`NodeSpec` names its hardware profile
+(``hw``, resolved through :data:`SUT_FACTORIES`), its PVC setting, a
+relative ``capacity`` (how much backlog the consolidate policies let it
+absorb), and its sleep/wake characteristics.  :func:`hetero_fleet`
+expands per-group :class:`NodeGroup` descriptions into specs; nodes
+sharing a ``(hw, setting)`` pair stay playback-equivalent, which is the
+property batched playback exploits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cluster.measure import ScheduledWork
 from repro.core.fleet import ServerSpec, server_from_sut
 from repro.core.qed.policy import BatchPolicy
 from repro.core.qed.queue import QueryQueue
 from repro.hardware.cpu import PvcSetting, STOCK_SETTING
+from repro.hardware.profiles import paper_sut
 from repro.hardware.system import SystemUnderTest
 from repro.hardware.trace import CompiledTrace, Idle, Trace
+
+#: Named hardware profiles a :class:`NodeSpec` may reference.  All are
+#: variants of the calibrated paper machine; registering a new profile
+#: is how a fleet mixes genuinely different hardware (the simulator
+#: builds one SUT per node from its profile's factory).
+SUT_FACTORIES: dict[str, Callable[[], SystemUnderTest]] = {
+    "paper": paper_sut,
+    "paper-nogpu": lambda: paper_sut(has_gpu=False),
+    "paper-diskless": lambda: paper_sut(has_disk=False),
+}
 
 
 @dataclass(frozen=True)
@@ -31,12 +58,16 @@ class NodeSpec:
     sleep_wall_w: float = 3.5
     wake_latency_s: float = 30.0
     queue_policy: BatchPolicy | None = None
+    hw: str = "paper"
+    capacity: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sleep_wall_w < 0:
             raise ValueError("sleep_wall_w must be non-negative")
         if self.wake_latency_s < 0:
             raise ValueError("wake_latency_s must be non-negative")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
 
 
 def uniform_fleet(
@@ -46,6 +77,8 @@ def uniform_fleet(
     wake_latency_s: float = 30.0,
     queue_policy: BatchPolicy | None = None,
     prefix: str = "node",
+    hw: str = "paper",
+    capacity: float = 1.0,
 ) -> list[NodeSpec]:
     """``count`` identical node specs (``node00``, ``node01``, ...)."""
     if count < 1:
@@ -58,19 +91,67 @@ def uniform_fleet(
             sleep_wall_w=sleep_wall_w,
             wake_latency_s=wake_latency_s,
             queue_policy=queue_policy,
+            hw=hw,
+            capacity=capacity,
         )
         for i in range(count)
     ]
 
 
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous slice of a heterogeneous fleet."""
+
+    count: int
+    prefix: str = "node"
+    hw: str = "paper"
+    setting: PvcSetting = STOCK_SETTING
+    capacity: float = 1.0
+    sleep_wall_w: float = 3.5
+    wake_latency_s: float = 30.0
+    queue_policy: BatchPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a node group needs at least one node")
+        if self.hw not in SUT_FACTORIES:
+            raise ValueError(
+                f"unknown hardware profile {self.hw!r}; "
+                f"known: {sorted(SUT_FACTORIES)}"
+            )
+
+
+def hetero_fleet(groups: list[NodeGroup]) -> list[NodeSpec]:
+    """Expand node groups into a flat spec list (names stay unique)."""
+    if not groups:
+        raise ValueError("a fleet needs at least one node group")
+    specs: list[NodeSpec] = []
+    for group in groups:
+        specs.extend(uniform_fleet(
+            group.count,
+            setting=group.setting,
+            sleep_wall_w=group.sleep_wall_w,
+            wake_latency_s=group.wake_latency_s,
+            queue_policy=group.queue_policy,
+            prefix=group.prefix,
+            hw=group.hw,
+            capacity=group.capacity,
+        ))
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("node group prefixes collide; names must be unique")
+    return specs
+
+
 class TimelineAccounting:
-    """Busy/wake/sleep accounting over ``scheduled`` work + wake state.
+    """Busy/wake/sleep accounting over ``scheduled`` work + span logs.
 
     Shared by the live :class:`SimulatedNode` and the frozen
     :class:`~repro.cluster.simulator.NodeTimeline` snapshot so
     schedule-time and playback-time accounting can never diverge.
-    Expects ``scheduled``, ``started_awake``, ``wake_called_s``, and
-    ``wake_ready_s`` attributes.
+    Expects ``spec``, ``sut``, ``scheduled``, ``started_awake``,
+    ``sleep_log`` (``(start, end-or-None)`` spans, the open span being
+    the current sleep), and ``wake_log`` (``(called, ready)`` spans).
     """
 
     @property
@@ -79,33 +160,71 @@ class TimelineAccounting:
 
     @property
     def wake_s(self) -> float:
-        if self.started_awake or self.wake_called_s is None:
-            return 0.0
-        return self.wake_ready_s - self.wake_called_s
+        return sum(ready - called for called, ready in self.wake_log)
 
     def sleep_s(self, horizon_s: float) -> float:
-        if self.started_awake:
-            return 0.0
-        if self.wake_called_s is None:
-            return horizon_s
-        return self.wake_called_s
+        return sum(
+            (horizon_s if end is None else end) - start
+            for start, end in self.sleep_log
+        )
+
+    def sleep_spans(self, horizon_s: float) -> list[tuple[float, float]]:
+        """Closed sleep spans over ``[0, horizon_s]``."""
+        return [
+            (start, horizon_s if end is None else end)
+            for start, end in self.sleep_log
+        ]
+
+    @property
+    def re_sleeps(self) -> int:
+        """Sleeps entered *after* serving awake (dynamic consolidation);
+        starting the run asleep is provisioning, not a re-sleep."""
+        return sum(1 for start, _ in self.sleep_log if start > 0.0)
+
+    # -- single-transition compatibility views ---------------------------
+
+    @property
+    def wake_called_s(self) -> float | None:
+        """First wake call (None if the node never woke)."""
+        return self.wake_log[0][0] if self.wake_log else None
+
+    @property
+    def wake_ready_s(self) -> float:
+        """End of the latest wake transition (0.0 if none)."""
+        return self.wake_log[-1][1] if self.wake_log else 0.0
+
+    def power_estimate(self) -> ServerSpec:
+        """Linear power envelope (Fan et al.) derived from the SUT.
+
+        Memoized on the SUT object (shared between the live node and
+        its frozen snapshots) because the derivation replays component
+        models.
+        """
+        cache = getattr(self.sut, "_envelope_cache", None)
+        if cache is None:
+            cache = {}
+            self.sut._envelope_cache = cache
+        key = (self.spec.name, self.spec.sleep_wall_w)
+        if key not in cache:
+            cache[key] = server_from_sut(
+                self.sut, self.spec.name, self.spec.sleep_wall_w
+            )
+        return cache[key]
 
 
 class SimulatedNode(TimelineAccounting):
     """Mutable per-run state of one node.
 
-    Sleep model: a node either starts the run awake or starts asleep and
-    is woken at most once (on demand, by a consolidate-style router).
-    Waking takes ``wake_latency_s`` during which the node draws idle
-    power but cannot serve; work routed to a waking node starts no
-    earlier than ``wake_ready_s``.  Asleep time draws ``sleep_wall_w``
-    and is accounted outside trace playback.
+    A node either starts the run awake or asleep; routers may wake it
+    (paying ``wake_latency_s`` of unserviceable idle) and -- once it has
+    drained -- put it back to sleep, any number of times.  Work routed
+    to a waking node starts no earlier than the transition's end; work
+    can never be assigned to a sleeping node at all.
     """
 
     def __init__(self, spec: NodeSpec, sut: SystemUnderTest):
         self.spec = spec
         self.sut = sut
-        self._power_estimate: ServerSpec | None = None
         self.reset(awake=True)
 
     # -- life cycle -------------------------------------------------------
@@ -113,10 +232,16 @@ class SimulatedNode(TimelineAccounting):
     def reset(self, awake: bool = True) -> None:
         """Fresh per-run state (called by the router's ``prepare``)."""
         self.started_awake = awake
-        self.wake_called_s: float | None = None
-        self.wake_ready_s = 0.0
+        self.sleep_log: list[tuple[float, float | None]] = (
+            [] if awake else [(0.0, None)]
+        )
+        self.wake_log: list[tuple[float, float]] = []
         self.busy_until = 0.0
         self.scheduled: list[ScheduledWork] = []
+        self.setting = self.spec.setting
+        self.setting_log: list[tuple[float, PvcSetting]] = [
+            (0.0, self.spec.setting)
+        ]
         self.queue = (
             QueryQueue(self.spec.queue_policy)
             if self.spec.queue_policy is not None else None
@@ -125,7 +250,7 @@ class SimulatedNode(TimelineAccounting):
     @property
     def awake(self) -> bool:
         """Awake or in its wake transition (not serviceable until ready)."""
-        return self.started_awake or self.wake_called_s is not None
+        return not (self.sleep_log and self.sleep_log[-1][1] is None)
 
     @property
     def ready_s(self) -> float:
@@ -135,9 +260,44 @@ class SimulatedNode(TimelineAccounting):
     def wake(self, now_s: float) -> float:
         """Begin the wake transition (idempotent); returns ready time."""
         if not self.awake:
-            self.wake_called_s = now_s
-            self.wake_ready_s = now_s + self.spec.wake_latency_s
+            start, _ = self.sleep_log[-1]
+            if now_s < start:
+                raise ValueError("cannot wake a node before it slept")
+            self.sleep_log[-1] = (start, now_s)
+            self.wake_log.append((now_s, now_s + self.spec.wake_latency_s))
         return self.wake_ready_s
+
+    def set_setting(self, setting: PvcSetting, now_s: float) -> None:
+        """Retune the node's PVC operating point from ``now_s`` on.
+
+        The change is logged so playback can attribute idle time to the
+        setting the node actually held; busy windows additionally stamp
+        their setting at :meth:`assign` time (exact by construction).
+        """
+        if self.setting_log and now_s < self.setting_log[-1][0]:
+            raise ValueError("setting changes must move forward in time")
+        self.setting = setting
+        self.setting_log.append((now_s, setting))
+
+    def drained(self, now_s: float) -> bool:
+        """No backlog, no queued work, nothing in flight at ``now_s``."""
+        if self.queue is not None and len(self.queue) > 0:
+            return False
+        return self.awake and self.ready_s <= now_s + 1e-12
+
+    def sleep(self, now_s: float) -> None:
+        """Re-enter the sleep state (dynamic re-consolidation).
+
+        Only a *drained* node may sleep -- the re-sleep-after-drain
+        invariant: a sleeping node can never strand scheduled work.
+        """
+        if not self.awake:
+            return
+        if not self.drained(now_s):
+            raise ValueError(
+                f"cannot sleep node {self.spec.name!r} with pending work"
+            )
+        self.sleep_log.append((now_s, None))
 
     def assign(
         self,
@@ -150,7 +310,9 @@ class SimulatedNode(TimelineAccounting):
 
         The window starts when the node is available: never before the
         dispatch time, the end of prior work, or -- the consolidate
-        invariant -- the end of the wake transition.
+        invariant -- the end of the wake transition.  The node's
+        *current* PVC setting is stamped on the window so playback costs
+        it under the setting its service time was computed for.
         """
         if not self.awake:
             raise ValueError(
@@ -164,55 +326,77 @@ class SimulatedNode(TimelineAccounting):
             start_s=start,
             end_s=start + service_s,
             queries=queries,
+            setting=self.setting,
         )
         self.scheduled.append(work)
         self.busy_until = work.end_s
         return work
 
-    # -- accounting (busy_s/wake_s/sleep_s from TimelineAccounting) -------
-
-    def power_estimate(self) -> ServerSpec:
-        """Linear power envelope (Fan et al.) derived from the SUT.
-
-        Used by the power-cap router and the fleet's modeled power
-        timeline; memoized because the derivation replays component
-        models.
-        """
-        if self._power_estimate is None:
-            self._power_estimate = server_from_sut(
-                self.sut, self.spec.name, self.spec.sleep_wall_w
-            )
-        return self._power_estimate
-
     # -- trace assembly ---------------------------------------------------
+    # (busy_s/wake_s/sleep_s/power_estimate come from TimelineAccounting)
 
-    def pieces(self, table: dict[str, CompiledTrace],
-               horizon_s: float) -> list[CompiledTrace]:
-        """The node's awake timeline as compiled-trace pieces.
 
-        Busy windows resolve through ``table``; the gaps between them
-        (and the wake transition) become ``Idle`` segments so playback
-        charges awake-idle power.  Sleeping time is *not* represented --
-        it is billed at ``sleep_wall_w`` outside the hardware model.
-        """
-        if not self.awake:
-            return []
-        out: list[CompiledTrace] = []
-        if self.started_awake:
-            cursor = 0.0
+def node_timeline_pieces(
+    node: TimelineAccounting,
+    table: dict[str, CompiledTrace],
+    horizon_s: float,
+) -> tuple[list[CompiledTrace], list[PvcSetting]]:
+    """A node's awake timeline as compiled-trace pieces + their settings.
+
+    Busy windows resolve through ``table`` under the setting stamped at
+    assign time; the gaps between them (and wake transitions) become
+    ``Idle`` segments so playback charges awake-idle power, under the
+    setting the node's retune log shows it held entering the gap (a
+    gap containing a retune is attributed wholly to its entry setting).
+    Sleep spans are *not* represented -- they are billed at
+    ``sleep_wall_w`` outside the hardware model.
+    """
+    log = list(getattr(node, "setting_log", ())) or [
+        (0.0, node.spec.setting)
+    ]
+
+    def setting_at(t: float) -> PvcSetting:
+        current = log[0][1]
+        for stamp, setting in log:
+            if stamp > t + 1e-12:
+                break
+            current = setting
+        return current
+
+    events: list[tuple[float, float, str, object]] = []
+    for start, end in node.sleep_spans(horizon_s):
+        events.append((start, end, "sleep", None))
+    for called, ready in node.wake_log:
+        events.append((called, ready, "wake", None))
+    for work in node.scheduled:
+        events.append((work.start_s, work.end_s, "busy", work))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    pieces: list[CompiledTrace] = []
+    settings: list[PvcSetting] = []
+    cursor = 0.0
+    for start, end, kind, payload in events:
+        if start - cursor > 1e-12:
+            pieces.append(_idle_piece(start - cursor, "idle"))
+            settings.append(setting_at(cursor))
+        cursor = max(cursor, start)
+        if kind == "sleep":
+            cursor = max(cursor, end)
+            continue
+        span = end - cursor
+        if kind == "wake":
+            if span > 1e-12:
+                pieces.append(_idle_piece(span, "wake"))
+                settings.append(setting_at(cursor))
         else:
-            cursor = self.wake_called_s or 0.0
-            if self.wake_ready_s > cursor:
-                out.append(_idle_piece(self.wake_ready_s - cursor, "wake"))
-                cursor = self.wake_ready_s
-        for work in self.scheduled:
-            if work.start_s - cursor > 1e-12:
-                out.append(_idle_piece(work.start_s - cursor, "idle"))
-            out.append(table[work.trace_key])
-            cursor = work.end_s
-        if horizon_s - cursor > 1e-12:
-            out.append(_idle_piece(horizon_s - cursor, "idle"))
-        return out
+            work = payload
+            pieces.append(table[work.trace_key])
+            settings.append(work.setting or node.spec.setting)
+        cursor = max(cursor, end)
+    if horizon_s - cursor > 1e-12 and node.awake:
+        pieces.append(_idle_piece(horizon_s - cursor, "idle"))
+        settings.append(setting_at(cursor))
+    return pieces, settings
 
 
 def _idle_piece(seconds: float, label: str) -> CompiledTrace:

@@ -1,20 +1,29 @@
 """Fleet playback: the nodes' timelines as stacked array operations.
 
 This generalizes :meth:`SystemUnderTest.run_compiled_batch` to a whole
-heterogeneous fleet.  Nodes sharing a PVC setting are *playback
-equivalent* (the simulator builds every node's machine from one
-factory), so their timelines stack into a single structure-of-arrays
-playback call per distinct setting -- a 16-node x 10k-arrival run
-collapses to a handful of vectorized passes.  ``play_loop`` keeps the
-per-query replay loop (one ``run_compiled`` call per scheduled piece)
-as the reference implementation and perf baseline; both paths agree on
-every node's energy to float-summation order.
+heterogeneous fleet.  Nodes sharing a ``(hardware profile, PVC
+setting)`` pair are *playback equivalent* (the simulator builds every
+node's machine from its profile's factory), so their timelines stack
+into a single structure-of-arrays playback call per distinct pair -- a
+16-node x 10k-arrival run collapses to a handful of vectorized passes.
+
+Nodes retuned online (the adaptive-PVC policy) contribute one stacked
+trace per *setting run* -- a maximal stretch of consecutive pieces
+played under one setting -- so the number of playback calls stays
+``O(distinct (hw, setting) pairs)`` and the number of stacked traces
+stays ``O(nodes + setting changes)``, not ``O(pieces)``.
+
+``play_loop`` keeps the per-query replay loop (one ``run_compiled``
+call per scheduled piece) as the reference implementation and perf
+baseline; both paths agree on every node's energy to float-summation
+order.
 """
 
 from __future__ import annotations
 
 from repro.cluster.measure import zero_measurement
 from repro.cluster.node import SimulatedNode
+from repro.hardware.cpu import PvcSetting
 from repro.hardware.system import RunMeasurement
 from repro.hardware.trace import CompiledTrace
 
@@ -27,36 +36,83 @@ from repro.hardware.trace import CompiledTrace
 def playback_groups(
     nodes: list[SimulatedNode],
 ) -> list[list[SimulatedNode]]:
-    """Partition nodes into playback-equivalent groups (same setting)."""
+    """Partition nodes into playback-equivalent groups: same hardware
+    profile, same (spec) PVC setting."""
     groups: dict[object, list[SimulatedNode]] = {}
     for node in nodes:
-        groups.setdefault(node.spec.setting, []).append(node)
+        groups.setdefault((node.spec.hw, node.spec.setting), []).append(node)
     return list(groups.values())
+
+
+def _node_settings(
+    node, pieces: list[CompiledTrace],
+    settings_by_node: dict[str, list[PvcSetting]] | None,
+) -> list[PvcSetting]:
+    """Per-piece settings for one node (spec setting when not given)."""
+    if settings_by_node is None:
+        return [node.spec.setting] * len(pieces)
+    settings = settings_by_node[node.spec.name]
+    if len(settings) != len(pieces):
+        raise ValueError(
+            f"node {node.spec.name!r}: {len(settings)} settings for "
+            f"{len(pieces)} pieces"
+        )
+    return settings
+
+
+def _setting_runs(
+    pieces: list[CompiledTrace], settings: list[PvcSetting],
+) -> list[tuple[PvcSetting, list[CompiledTrace]]]:
+    """Split a timeline into maximal same-setting runs, in order."""
+    runs: list[tuple[PvcSetting, list[CompiledTrace]]] = []
+    for piece, setting in zip(pieces, settings):
+        if runs and runs[-1][0] == setting:
+            runs[-1][1].append(piece)
+        else:
+            runs.append((setting, [piece]))
+    return runs
 
 
 def play_batched(
     nodes: list[SimulatedNode],
     pieces_by_node: dict[str, list[CompiledTrace]],
     workload_class: str,
+    settings_by_node: dict[str, list[PvcSetting]] | None = None,
 ) -> dict[str, RunMeasurement]:
-    """One stacked playback call per distinct PVC setting.
+    """One stacked playback call per distinct (hw, setting) pair.
 
-    Each node's pieces concatenate into its full-timeline trace; every
-    same-setting node's timeline joins one
+    Each node's same-setting piece runs concatenate into stacked
+    traces; every equivalent run across the fleet joins one
     :meth:`~repro.hardware.system.SystemUnderTest.run_compiled_batch`
-    call, whose per-trace slice sums come back as per-node measurements.
+    call, whose per-trace slice sums come back as per-node measurements
+    (summed across a node's runs when it was retuned mid-flight).
     """
-    out: dict[str, RunMeasurement] = {}
-    for group in playback_groups(nodes):
-        traces = [
-            CompiledTrace.concat(pieces_by_node[node.spec.name])
-            for node in group
-        ]
-        measurements = group[0].sut.run_compiled_batch(
-            traces, workload_class
-        )
-        for node, measurement in zip(group, measurements):
-            out[node.spec.name] = measurement
+    out: dict[str, RunMeasurement] = {
+        node.spec.name: zero_measurement() for node in nodes
+    }
+    buckets: dict[object, list[tuple[str, CompiledTrace]]] = {}
+    sut_for: dict[object, object] = {}
+    for node in nodes:
+        pieces = pieces_by_node[node.spec.name]
+        settings = _node_settings(node, pieces, settings_by_node)
+        for setting, run_pieces in _setting_runs(pieces, settings):
+            key = (node.spec.hw, setting)
+            buckets.setdefault(key, []).append(
+                (node.spec.name, CompiledTrace.concat(run_pieces))
+            )
+            sut_for.setdefault(key, node.sut)
+    for key, entries in buckets.items():
+        sut = sut_for[key]
+        original = sut.setting
+        sut.apply_setting(key[1])
+        try:
+            measurements = sut.run_compiled_batch(
+                [trace for _, trace in entries], workload_class
+            )
+        finally:
+            sut.apply_setting(original)
+        for (name, _), measurement in zip(entries, measurements):
+            out[name] = out[name] + measurement
     return out
 
 
@@ -64,6 +120,7 @@ def play_loop(
     nodes: list[SimulatedNode],
     pieces_by_node: dict[str, list[CompiledTrace]],
     workload_class: str,
+    settings_by_node: dict[str, list[PvcSetting]] | None = None,
 ) -> dict[str, RunMeasurement]:
     """The per-query replay loop: one playback call per scheduled piece.
 
@@ -73,8 +130,16 @@ def play_loop(
     """
     out: dict[str, RunMeasurement] = {}
     for node in nodes:
+        pieces = pieces_by_node[node.spec.name]
+        settings = _node_settings(node, pieces, settings_by_node)
         total = zero_measurement()
-        for piece in pieces_by_node[node.spec.name]:
-            total = total + node.sut.run_compiled(piece, workload_class)
+        original = node.sut.setting
+        try:
+            for piece, setting in zip(pieces, settings):
+                if node.sut.setting != setting:
+                    node.sut.apply_setting(setting)
+                total = total + node.sut.run_compiled(piece, workload_class)
+        finally:
+            node.sut.apply_setting(original)
         out[node.spec.name] = total
     return out

@@ -15,6 +15,18 @@ become routing policies over the simulated fleet:
     nodes awake as possible, wake the next node only when every awake
     node's backlog exceeds the cap, and pay the wake-latency penalty --
     work never starts on a waking node before its transition completes.
+``DynamicConsolidateRouter``
+    Consolidate under *time-varying* load: an EWMA of the observed
+    arrival rate (optionally cross-checked against a known
+    :class:`~repro.workloads.arrivals.RateSchedule`) sizes the awake
+    set online -- drained nodes re-sleep when demand drops below a
+    hysteresis band, and nodes re-wake *ahead* of scheduled peaks by
+    their wake latency.
+``AdaptivePvcRouter``
+    Per-node online PVC control: every node walks the adaptation ladder
+    (:data:`~repro.core.pvc.adaptive.DEFAULT_LADDER`) using its own
+    backlog as deadline feedback -- loaded nodes speed up to protect
+    response times, idle nodes sink to the cheapest stable setting.
 ``PowerCapRouter``
     Cap-aware admission: schedule work so the fleet's modeled power
     (linear per-node envelope) never exceeds a wall-power cap, delaying
@@ -27,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.node import SimulatedNode
+from repro.core.pvc.adaptive import DEFAULT_LADDER, ladder_step
+from repro.workloads.arrivals import RateSchedule
 
 
 @dataclass(frozen=True)
@@ -96,8 +110,9 @@ class ConsolidateRouter(Router):
     """Pack arrivals onto the fewest awake nodes; the rest sleep.
 
     A node accepts work while its backlog (time until it would start
-    this query, plus the query itself) stays within ``max_backlog_s`` --
-    the time-domain analogue of ``Fleet.consolidate``'s utilization cap.
+    this query, plus the query itself) stays within ``max_backlog_s``
+    scaled by the node's relative ``capacity`` -- the time-domain
+    analogue of ``Fleet.consolidate``'s utilization cap.
     When every awake node is over the cap, a sleeping node is woken
     *only if* waking it (wake latency + service) would answer the query
     sooner than the least-loaded awake node -- a short burst therefore
@@ -125,7 +140,7 @@ class ConsolidateRouter(Router):
                 max(node.ready_s, now_s) - now_s
                 + service_by_node[node.spec.name]
             )
-            if backlog <= self.max_backlog_s:
+            if backlog <= self.max_backlog_s * node.spec.capacity:
                 return Decision(node, now_s)
         best_awake = earliest_completion_node(
             awake, now_s, service_by_node
@@ -151,6 +166,196 @@ class ConsolidateRouter(Router):
                 candidate.wake(now_s)
                 return Decision(candidate, now_s)
         return Decision(best_awake, now_s)
+
+
+class DynamicConsolidateRouter(ConsolidateRouter):
+    """Re-consolidate under time-varying load.
+
+    The one-shot :class:`ConsolidateRouter` only ever *grows* the awake
+    set; under a diurnal profile that leaves the whole daytime fleet
+    burning idle watts all night.  This policy sizes the awake set
+    online from the *offered load* (arrival-rate EWMA x service-time
+    EWMA, in Erlangs) against a target utilization:
+
+    * **re-sleep**: when the awake capacity exceeds the needed capacity
+      by the ``hysteresis`` band, *drained* nodes (no backlog, no
+      queued work) are put back to sleep, never below ``min_awake``;
+    * **pre-wake**: when a ``schedule`` is supplied, the policy also
+      evaluates the known rate curve one wake-latency *ahead* of now,
+      so capacity for a scheduled peak is awake (and through its wake
+      transition) by the time the peak arrives;
+    * the parent's reactive overflow path remains as the safety valve
+      for unscheduled bursts.
+
+    The hysteresis band is what prevents sleep/wake thrash around a
+    slowly moving rate; decisions happen at arrival times (the event
+    loop's clock), which suffices because an empty stream costs only
+    idle/sleep power anyway.
+    """
+
+    def __init__(
+        self,
+        max_backlog_s: float,
+        target_utilization: float = 0.7,
+        hysteresis: float = 0.3,
+        ewma_alpha: float = 0.2,
+        schedule: RateSchedule | None = None,
+        min_awake: int = 1,
+    ):
+        super().__init__(max_backlog_s)
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if min_awake < 1:
+            raise ValueError("min_awake must be >= 1")
+        self.target_utilization = target_utilization
+        self.hysteresis = hysteresis
+        self.ewma_alpha = ewma_alpha
+        self.schedule = schedule
+        self.min_awake = min_awake
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        if len(nodes) < self.min_awake:
+            raise ValueError("min_awake exceeds the fleet size")
+        for i, node in enumerate(nodes):
+            node.reset(awake=i < self.min_awake)
+        self._last_arrival_s: float | None = None
+        self._gap_ewma: float | None = None
+        self._service_ewma: float | None = None
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        self._observe(now_s, service_by_node, nodes)
+        self._resize_awake_set(now_s, nodes)
+        return super().route(sql, now_s, service_by_node, nodes)
+
+    # -- load observation -------------------------------------------------
+
+    def _observe(self, now_s, service_by_node, nodes) -> None:
+        alpha = self.ewma_alpha
+        if self._last_arrival_s is not None:
+            gap = now_s - self._last_arrival_s
+            self._gap_ewma = (
+                gap if self._gap_ewma is None
+                else alpha * gap + (1 - alpha) * self._gap_ewma
+            )
+        self._last_arrival_s = now_s
+        service = sum(
+            service_by_node[n.spec.name] for n in nodes
+        ) / len(nodes)
+        self._service_ewma = (
+            service if self._service_ewma is None
+            else alpha * service + (1 - alpha) * self._service_ewma
+        )
+
+    def _demand_erlangs(self, now_s: float,
+                        nodes: list[SimulatedNode]) -> float | None:
+        """Offered load (busy-node equivalents): rate x service time.
+
+        Uses the larger of the observed EWMA rate and -- when a rate
+        schedule is known -- the scheduled rate one wake latency ahead,
+        which is exactly the horizon at which waking a node now pays
+        off.  Returns None until both EWMAs have observations.
+        """
+        if self._gap_ewma is None or self._service_ewma is None:
+            return None
+        rate = 1.0 / max(self._gap_ewma, 1e-9)
+        if self.schedule is not None:
+            lookahead = max(
+                (n.spec.wake_latency_s for n in nodes if not n.awake),
+                default=0.0,
+            )
+            rate = max(rate, self.schedule.rate_at(now_s + lookahead))
+        return rate * self._service_ewma
+
+    # -- awake-set sizing -------------------------------------------------
+
+    def _resize_awake_set(self, now_s: float,
+                          nodes: list[SimulatedNode]) -> None:
+        demand = self._demand_erlangs(now_s, nodes)
+        if demand is None:
+            return
+        needed_cap = demand / self.target_utilization
+        awake = [n for n in nodes if n.awake]
+        sleepers = [n for n in nodes if not n.awake]
+        awake_cap = sum(n.spec.capacity for n in awake)
+
+        # Pre-wake: cheapest transition first (its capacity is usable
+        # soonest), until the awake capacity covers the demand.
+        while sleepers and awake_cap < needed_cap:
+            node = min(sleepers, key=lambda n: n.spec.wake_latency_s)
+            node.wake(now_s)
+            sleepers.remove(node)
+            awake.append(node)
+            awake_cap += node.spec.capacity
+
+        # Re-sleep: walk the awake tail (keep the head nodes hot) and
+        # sleep drained nodes while the remaining capacity still clears
+        # the demand by the full hysteresis band.
+        for node in reversed(awake[self.min_awake:]):
+            surplus_ok = (
+                awake_cap - node.spec.capacity
+                >= needed_cap * (1.0 + self.hysteresis)
+            )
+            if surplus_ok and node.drained(now_s):
+                node.sleep(now_s)
+                awake_cap -= node.spec.capacity
+
+
+class AdaptivePvcRouter(Router):
+    """Route least-loaded while adapting each node's PVC level online.
+
+    The single-machine :func:`~repro.core.pvc.adaptive.ladder_step`
+    controller, applied per node with *backlog* as the feedback signal:
+    before dispatching to the earliest-completion node, the router
+    projects this query's response time (queue wait + service at the
+    node's current level) against ``deadline_s`` and steps the node's
+    ladder level -- up (faster, costlier) when the projection busts the
+    deadline, down (cheaper) when it sits under ``slack_threshold x
+    deadline``.  A level change applies from the window being
+    dispatched onward (the triggering query itself runs -- and is
+    costed -- under the stepped setting); playback costs every window
+    under the setting it was scheduled at, so batched and loop
+    playback stay identical.
+    """
+
+    def __init__(self, deadline_s: float,
+                 ladder: list | None = None,
+                 slack_threshold: float = 0.85):
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.ladder = list(DEFAULT_LADDER) if ladder is None else list(ladder)
+        if not self.ladder:
+            raise ValueError("ladder must not be empty")
+        if not 0.0 < slack_threshold <= 1.0:
+            raise ValueError("slack_threshold must be in (0, 1]")
+        self.deadline_s = deadline_s
+        self.slack_threshold = slack_threshold
+
+    def prepare(self, nodes: list[SimulatedNode]) -> None:
+        super().prepare(nodes)
+        # Start every node at the cheapest stable setting, as the
+        # single-machine controller does; load walks them up.
+        self._level = {n.spec.name: len(self.ladder) - 1 for n in nodes}
+        for node in nodes:
+            node.set_setting(self.ladder[self._level[node.spec.name]],
+                             0.0)
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        node = earliest_completion_node(nodes, now_s, service_by_node)
+        name = node.spec.name
+        projected = (
+            max(now_s, node.ready_s) - now_s + service_by_node[name]
+        )
+        level = self._level[name]
+        stepped = ladder_step(level, projected, self.deadline_s,
+                              len(self.ladder), self.slack_threshold)
+        if stepped != level:
+            self._level[name] = stepped
+            node.set_setting(self.ladder[stepped], now_s)
+        return Decision(node, now_s)
 
 
 @dataclass(frozen=True)

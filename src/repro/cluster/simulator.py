@@ -2,9 +2,11 @@
 
 The paper's deployment story at production scale: an arrival stream of
 queries hits a master, a routing policy places each query on a node
-(possibly waking it, delaying it, or shedding it), per-node QED queues
-may batch arrivals into merged executions, and every node is the
-calibrated machine model pinned to its own PVC operating point.
+(possibly waking it, re-sleeping it, delaying it, or shedding it),
+per-node QED queues may batch arrivals into merged executions, and
+every node is a calibrated machine model -- possibly from a different
+hardware profile per node group -- pinned to (or walked through) its
+own PVC operating points.
 
 The simulation is split into two phases so the hot path stays a handful
 of array operations:
@@ -12,12 +14,15 @@ of array operations:
 1. :meth:`ClusterSimulator.schedule` -- resolve each arrival to a cached
    :class:`~repro.workloads.runner.QueryExecution` (execute-once: each
    distinct statement hits the database once, results are evicted once
-   the trace compiles), pre-cost each distinct query per playback group
-   with one ``run_compiled_batch`` call, then run the event loop in pure
-   Python over floats.  Produces a :class:`ClusterSchedule`: per-node
-   timelines (busy windows + idle/wake gaps) as compiled-trace pieces.
+   the trace compiles), pre-cost each distinct query once per distinct
+   ``(hardware profile, PVC setting)`` pair with one
+   ``run_compiled_batch`` call -- including every ladder setting an
+   adaptive router may apply -- then run the event loop in pure Python
+   over floats.  Produces a :class:`ClusterSchedule`: per-node timelines
+   (busy windows + idle/wake gaps, minus sleep spans) as compiled-trace
+   pieces, each tagged with the setting it was scheduled under.
 2. :meth:`ClusterSimulator.playback` -- play every node's whole timeline
-   with one stacked array call per distinct PVC setting
+   with one stacked array call per distinct (hw, setting) pair
    (:func:`~repro.cluster.playback.play_batched`), or per piece
    (:func:`~repro.cluster.playback.play_loop`, the perf baseline), and
    compose the :class:`~repro.cluster.measure.ClusterMeasurement`.
@@ -26,7 +31,7 @@ of array operations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator, Mapping
 
 from repro.cluster.measure import (
     ClusterMeasurement,
@@ -34,19 +39,29 @@ from repro.cluster.measure import (
     QueryResponse,
     ShedQuery,
 )
-from repro.cluster.node import NodeSpec, SimulatedNode, TimelineAccounting
-from repro.cluster.playback import play_batched, play_loop, playback_groups
+from repro.cluster.node import (
+    NodeSpec,
+    SimulatedNode,
+    SUT_FACTORIES,
+    TimelineAccounting,
+    node_timeline_pieces,
+)
+from repro.cluster.playback import play_batched, play_loop
 from repro.cluster.routing import Router
 from repro.core.qed.aggregator import merge_queries
 from repro.core.qed.executor import merged_batch_execution
 from repro.core.qed.queue import Batch
 from repro.db.engine import Database
-from repro.hardware.profiles import paper_sut
+from repro.hardware.cpu import PvcSetting
 from repro.hardware.system import SystemUnderTest
 from repro.hardware.trace import CompiledTrace
 from repro.workloads.arrivals import Arrival
 from repro.workloads.client import ClientModel
 from repro.workloads.runner import TraceCache, WorkloadRunner
+
+#: Key under which a query's duration is pre-costed: the node's
+#: hardware profile plus the PVC setting it currently holds.
+CostKey = tuple[str, PvcSetting]
 
 
 @dataclass(frozen=True)
@@ -63,8 +78,9 @@ class NodeTimeline(TimelineAccounting):
     sut: SystemUnderTest
     scheduled: tuple
     started_awake: bool
-    wake_called_s: float | None
-    wake_ready_s: float
+    sleep_log: tuple
+    wake_log: tuple
+    setting_log: tuple
 
     @classmethod
     def snapshot(cls, node: SimulatedNode) -> "NodeTimeline":
@@ -73,9 +89,14 @@ class NodeTimeline(TimelineAccounting):
             sut=node.sut,
             scheduled=tuple(node.scheduled),
             started_awake=node.started_awake,
-            wake_called_s=node.wake_called_s,
-            wake_ready_s=node.wake_ready_s,
+            sleep_log=tuple(node.sleep_log),
+            wake_log=tuple(node.wake_log),
+            setting_log=tuple(node.setting_log),
         )
+
+    @property
+    def awake(self) -> bool:
+        return not (self.sleep_log and self.sleep_log[-1][1] is None)
 
 
 @dataclass
@@ -85,6 +106,7 @@ class ClusterSchedule:
     nodes: list[NodeTimeline]
     table: dict[str, CompiledTrace]
     pieces_by_node: dict[str, list[CompiledTrace]]
+    settings_by_node: dict[str, list[PvcSetting]]
     horizon_s: float
     shed: list[ShedQuery]
     peak_power_w: float
@@ -96,14 +118,54 @@ class ClusterSchedule:
         return sum(len(p) for p in self.pieces_by_node.values())
 
 
+class _ServiceView(Mapping):
+    """Live node-name -> service-time mapping for one statement.
+
+    Reads each node's *current* PVC setting on every lookup, so a
+    router that retunes a node mid-stream (``AdaptivePvcRouter``)
+    immediately sees -- and the simulator immediately schedules --
+    service times under the new setting.  Routers index it exactly like
+    the plain dict it replaces.
+    """
+
+    __slots__ = ("_durations", "_nodes", "_sql")
+
+    def __init__(self, durations: dict[CostKey, dict[str, float]],
+                 nodes: dict[str, SimulatedNode], sql: str):
+        self._durations = durations
+        self._nodes = nodes
+        self._sql = sql
+
+    def __getitem__(self, name: str) -> float:
+        node = self._nodes[name]
+        try:
+            return self._durations[(node.spec.hw, node.setting)][self._sql]
+        except KeyError:
+            raise KeyError(
+                f"no pre-costed duration for node {name!r} under setting "
+                f"{node.setting.describe()!r}; routers that retune nodes "
+                "must expose the settings they use via a `ladder` attribute"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
 class ClusterSimulator:
     """Serve an arrival stream across a simulated fleet.
 
-    Every node's machine comes from ``sut_factory`` (default: the
-    calibrated paper machine) with its spec's PVC setting applied, which
-    keeps same-setting nodes playback-equivalent -- the property batched
-    playback exploits.  The shared database models fully replicated
-    data: any node can serve any query.
+    Every node's machine comes from its spec's hardware profile
+    (``hw``, resolved through ``sut_factories`` with
+    :data:`~repro.cluster.node.SUT_FACTORIES` as the base registry)
+    with the spec's PVC setting applied, which keeps same-(hw, setting)
+    nodes playback-equivalent -- the property batched playback
+    exploits.  ``sut_factory`` (single-profile fleets) overrides the
+    ``"paper"`` profile, preserving the homogeneous-fleet call shape.
+    The shared database models fully replicated data: any node can
+    serve any query.
     """
 
     def __init__(
@@ -114,25 +176,61 @@ class ClusterSimulator:
         sut_factory: Callable[[], SystemUnderTest] | None = None,
         client: ClientModel | None = None,
         trace_cache: TraceCache | None = None,
+        sut_factories: dict[str, Callable[[], SystemUnderTest]] | None = None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one node")
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
-        factory = sut_factory if sut_factory is not None else paper_sut
+        factories = dict(SUT_FACTORIES)
+        if sut_factories:
+            factories.update(sut_factories)
+        if sut_factory is not None:
+            factories["paper"] = sut_factory
+        for spec in specs:
+            if spec.hw not in factories:
+                raise ValueError(
+                    f"node {spec.name!r} references unknown hardware "
+                    f"profile {spec.hw!r}; known: {sorted(factories)}"
+                )
         self.db = db
         self.router = router
+        self._factories = factories
         self.runner = WorkloadRunner(
-            db, factory(), client=client, trace_cache=trace_cache
+            db, factories[specs[0].hw](), client=client,
+            trace_cache=trace_cache,
         )
         self.nodes: list[SimulatedNode] = []
         for spec in specs:
-            sut = factory()
+            sut = factories[spec.hw]()
             sut.apply_setting(spec.setting)
             self.nodes.append(SimulatedNode(spec, sut))
 
     # -- phase 1: event loop ---------------------------------------------
+
+    def _cost_keys(self) -> list[CostKey]:
+        """Every (hw, setting) pair the event loop may need durations
+        for: each node's pinned setting, plus -- when the router walks
+        nodes along a PVC ladder -- every ladder rung on every hardware
+        profile in the fleet."""
+        keys: dict[CostKey, None] = {}
+        for node in self.nodes:
+            keys.setdefault((node.spec.hw, node.spec.setting))
+        ladder = getattr(self.router, "ladder", None) or ()
+        if ladder:
+            for hw in dict.fromkeys(n.spec.hw for n in self.nodes):
+                for setting in ladder:
+                    keys.setdefault((hw, setting))
+        return list(keys)
+
+    def _sut_for(self, hw: str) -> SystemUnderTest:
+        """A representative machine for ``hw`` (any node of that
+        profile; factories make them interchangeable)."""
+        for node in self.nodes:
+            if node.spec.hw == hw:
+                return node.sut
+        raise KeyError(hw)  # pragma: no cover - keys come from nodes
 
     def schedule(self, arrivals: list[Arrival]) -> ClusterSchedule:
         """Route every arrival; returns the fleet's scheduled timelines."""
@@ -150,32 +248,30 @@ class ClusterSimulator:
             )
             table[sql] = execution.compiled_trace()
 
-        # Pre-cost each distinct query per playback group: one stacked
-        # call per distinct setting replaces a per-(query, node) loop.
-        groups = playback_groups(self.nodes)
-        group_of = {
-            node.spec.name: gi
-            for gi, group in enumerate(groups)
-            for node in group
-        }
+        # Pre-cost each distinct query per (hw, setting) pair: one
+        # stacked call per pair replaces a per-(query, node) loop.
         distinct = list(table)
-        durations: list[dict[str, float]] = []
-        for group in groups:
-            batch = group[0].sut.run_compiled_batch(
-                [table[sql] for sql in distinct], workload_class
-            )
-            durations.append({
+        durations: dict[CostKey, dict[str, float]] = {}
+        for hw, setting in self._cost_keys():
+            sut = self._sut_for(hw)
+            original = sut.setting
+            sut.apply_setting(setting)
+            try:
+                batch = sut.run_compiled_batch(
+                    [table[sql] for sql in distinct], workload_class
+                )
+            finally:
+                sut.apply_setting(original)
+            durations[(hw, setting)] = {
                 sql: m.duration_s for sql, m in zip(distinct, batch)
-            })
-
-        # Per-distinct-SQL service maps, shared across arrivals (the
-        # event loop would otherwise rebuild an identical dict ~10k
-        # times); routers only read them.
-        service_maps = {
-            sql: {
-                node.spec.name: durations[group_of[node.spec.name]][sql]
-                for node in self.nodes
             }
+
+        # Per-distinct-SQL live service views, shared across arrivals
+        # (the event loop would otherwise rebuild an identical mapping
+        # ~10k times); routers only read them.
+        nodes_by_name = {node.spec.name: node for node in self.nodes}
+        service_views = {
+            sql: _ServiceView(durations, nodes_by_name, sql)
             for sql in distinct
         }
 
@@ -188,10 +284,9 @@ class ClusterSimulator:
                 batch = self._expire_queue(node, now)
                 if batch is not None:
                     self._schedule_batch(
-                        node, batch, table, durations,
-                        group_of, workload_class,
+                        node, batch, table, durations, workload_class,
                     )
-            service_by_node = service_maps[arrival.sql]
+            service_by_node = service_views[arrival.sql]
             decision = self.router.route(
                 arrival.sql, now, service_by_node, self.nodes
             )
@@ -203,8 +298,7 @@ class ClusterSimulator:
                 batch = node.queue.submit(arrival.sql, now)
                 if batch is not None:
                     self._schedule_batch(
-                        node, batch, table, durations,
-                        group_of, workload_class,
+                        node, batch, table, durations, workload_class,
                     )
             else:
                 node.assign(
@@ -225,8 +319,7 @@ class ClusterSimulator:
             batch = node.queue.flush(flush_at)
             if batch is not None:
                 self._schedule_batch(
-                    node, batch, table, durations, group_of,
-                    workload_class,
+                    node, batch, table, durations, workload_class,
                 )
 
         horizon = end_of_arrivals
@@ -234,14 +327,17 @@ class ClusterSimulator:
             horizon = max(horizon, node.busy_until)
             if node.awake:
                 horizon = max(horizon, node.wake_ready_s)
-        pieces_by_node = {
-            node.spec.name: node.pieces(table, horizon)
-            for node in self.nodes
-        }
+        pieces_by_node: dict[str, list[CompiledTrace]] = {}
+        settings_by_node: dict[str, list[PvcSetting]] = {}
+        for node in self.nodes:
+            pieces, settings = node_timeline_pieces(node, table, horizon)
+            pieces_by_node[node.spec.name] = pieces
+            settings_by_node[node.spec.name] = settings
         return ClusterSchedule(
             nodes=[NodeTimeline.snapshot(n) for n in self.nodes],
             table=table,
             pieces_by_node=pieces_by_node,
+            settings_by_node=settings_by_node,
             horizon_s=horizon,
             shed=shed,
             peak_power_w=self._peak_model_power_w(horizon),
@@ -279,8 +375,7 @@ class ClusterSimulator:
         node: SimulatedNode,
         batch: Batch,
         table: dict[str, CompiledTrace],
-        durations: list[dict[str, float]],
-        group_of: dict[str, int],
+        durations: dict[CostKey, dict[str, float]],
         workload_class: str,
     ) -> None:
         """Serve a dispatched QED batch as one merged execution.
@@ -299,13 +394,19 @@ class ClusterSimulator:
             )
             table[key] = trace.compiled()
             execution.release_result()
-        gi = group_of[node.spec.name]
-        if key not in durations[gi]:
-            durations[gi][key] = node.sut.run_compiled(
-                table[key], workload_class
-            ).duration_s
+        dkey: CostKey = (node.spec.hw, node.setting)
+        per_key = durations.setdefault(dkey, {})
+        if key not in per_key:
+            original = node.sut.setting
+            node.sut.apply_setting(node.setting)
+            try:
+                per_key[key] = node.sut.run_compiled(
+                    table[key], workload_class
+                ).duration_s
+            finally:
+                node.sut.apply_setting(original)
         node.assign(
-            key, batch.dispatch_s, durations[gi][key],
+            key, batch.dispatch_s, per_key[key],
             tuple((q.sql, q.arrival_s) for q in batch.queries),
         )
 
@@ -315,20 +416,24 @@ class ClusterSimulator:
         The same model the power-cap router schedules against: awake
         nodes draw idle watts (wake transitions included), busy windows
         add ``busy - idle``, sleeping nodes draw their sleep watts.
+        Every sleep-to-wake and awake-to-sleep transition (dynamic
+        re-consolidation can produce many per node) becomes a power
+        step event.
         """
         power = 0.0
         events: list[tuple[float, float]] = []
         for node in self.nodes:
             est = node.power_estimate()
+            sleep_step = est.idle_wall_w - node.spec.sleep_wall_w
             if node.started_awake:
                 power += est.idle_wall_w
             else:
                 power += node.spec.sleep_wall_w
-                if node.wake_called_s is not None:
-                    events.append((
-                        node.wake_called_s,
-                        est.idle_wall_w - node.spec.sleep_wall_w,
-                    ))
+            for called, _ready in node.wake_log:
+                events.append((called, sleep_step))
+            for start, _end in node.sleep_log:
+                if start > 0.0:
+                    events.append((start, -sleep_step))
             delta = est.busy_wall_w - est.idle_wall_w
             for work in node.scheduled:
                 events.append((work.start_s, delta))
@@ -349,12 +454,12 @@ class ClusterSimulator:
         if mode == "batched":
             measurements = play_batched(
                 schedule.nodes, schedule.pieces_by_node,
-                schedule.workload_class,
+                schedule.workload_class, schedule.settings_by_node,
             )
         elif mode == "loop":
             measurements = play_loop(
                 schedule.nodes, schedule.pieces_by_node,
-                schedule.workload_class,
+                schedule.workload_class, schedule.settings_by_node,
             )
         else:
             raise ValueError(f"unknown playback mode {mode!r}")
@@ -363,6 +468,7 @@ class ClusterSimulator:
         for node in schedule.nodes:
             name = node.spec.name
             sleep_s = node.sleep_s(schedule.horizon_s)
+            envelope = node.power_estimate()
             usages.append(NodeUsage(
                 name=name,
                 queries=sum(len(w.queries) for w in node.scheduled),
@@ -372,6 +478,15 @@ class ClusterSimulator:
                 horizon_s=schedule.horizon_s,
                 playback=measurements[name],
                 sleep_joules=node.spec.sleep_wall_w * sleep_s,
+                re_sleeps=node.re_sleeps,
+                busy_windows=tuple(
+                    (w.start_s, w.end_s) for w in node.scheduled
+                ),
+                sleep_spans=tuple(node.sleep_spans(schedule.horizon_s)),
+                wake_spans=tuple(node.wake_log),
+                idle_wall_w=envelope.idle_wall_w,
+                busy_wall_w=envelope.busy_wall_w,
+                sleep_wall_w=node.spec.sleep_wall_w,
             ))
             for work in node.scheduled:
                 for sql, arrival_s in work.queries:

@@ -27,6 +27,24 @@ DEFAULT_LADDER = [
 ]
 
 
+def ladder_step(level: int, projected_s: float, deadline_s: float,
+                ladder_len: int, slack_threshold: float) -> int:
+    """One hysteresis step along a PVC ladder (shared controller core).
+
+    Behind schedule (projection past the deadline): speed up one notch
+    (a faster notch also shortens the next projection).  Ample slack
+    (projection under ``slack_threshold * deadline``): save energy one
+    notch.  In between: hold -- the dead band is what prevents setting
+    thrash.  Used by the single-machine :class:`AdaptiveController` and
+    the fleet's ``AdaptivePvcRouter``.
+    """
+    if projected_s > deadline_s and level > 0:
+        return level - 1
+    if projected_s < slack_threshold * deadline_s and level < ladder_len - 1:
+        return level + 1
+    return level
+
+
 @dataclass
 class AdaptiveOutcome:
     """A workload run under adaptive control."""
@@ -114,13 +132,5 @@ class AdaptiveController:
                remaining: int, deadline_s: float) -> int:
         """Move along the ladder based on the projected finish time."""
         projected = elapsed_s + remaining * last_query_s
-        if projected > deadline_s and level > 0:
-            # Behind schedule: speed up one notch (a faster notch also
-            # shortens the projection for the next check).
-            return level - 1
-        if (
-            projected < self.slack_threshold * deadline_s
-            and level < len(self.ladder) - 1
-        ):
-            return level + 1
-        return level
+        return ladder_step(level, projected, deadline_s,
+                           len(self.ladder), self.slack_threshold)

@@ -11,7 +11,7 @@ delays too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.qed.policy import BatchPolicy
 

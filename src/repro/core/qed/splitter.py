@@ -19,7 +19,7 @@ from repro.core.qed.aggregator import MergedQuery
 from repro.db.exec.stats import ExprCounters
 from repro.db.expr import Batch, evaluate_predicate
 from repro.db.results import QueryResult
-from repro.db.types import Column, DataType
+from repro.db.types import DataType
 
 
 @dataclass

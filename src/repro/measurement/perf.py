@@ -299,3 +299,218 @@ def compare_cluster_playback(
         loop_wall_joules=loop.wall_joules,
         max_rel_diff=worst,
     )
+
+
+# -- diurnal ablation: static vs dynamic policies on a hetero fleet -------
+
+#: Canonical diurnal scenario, shared by
+#: ``benchmarks/bench_ablation_diurnal.py`` and ``scripts/perf_report.py``
+#: so both write comparable ``diurnal`` records.  The compressed "day"
+#: swings a nonhomogeneous Poisson stream between a nighttime trough
+#: and a midday crest over a fleet mixing full-power and eco nodes.
+#: Rates are calibrated at the reference scale factor; service times
+#: grow ~linearly with SF, so :func:`diurnal_scenario` rescales the
+#: rate curve by ``REFERENCE_SF / sf`` to keep the *offered load*
+#: (Erlangs) -- and therefore the policy comparison -- scale-invariant.
+DIURNAL_REFERENCE_SF = 0.01
+DIURNAL_BASE_RATE = 1.0
+DIURNAL_PEAK_RATE = 14.0
+DIURNAL_PERIOD_S = 120.0
+DIURNAL_SEED = 7
+DIURNAL_DISTINCT = 20
+DIURNAL_SLA_S = 0.5
+#: Equal SLA-miss budget for every policy: 1% of served arrivals.
+DIURNAL_SLA_BUDGET = 0.01
+
+
+def diurnal_scenario(sf: float | None = None):
+    """(specs, schedule, stream) for the canonical diurnal comparison.
+
+    Two compressed day/night cycles by default;
+    ``REPRO_BENCH_DIURNAL_HORIZON`` shrinks the horizon for CI smoke
+    runs (one cycle minimum keeps both a trough and a crest in play).
+    ``sf`` rescales the rate curve so the offered load matches the
+    reference calibration at any scale factor.
+    """
+    import os
+
+    from repro.cluster import NodeGroup, hetero_fleet
+    from repro.hardware.cpu import PvcSetting, VoltageDowngrade
+    from repro.workloads.arrivals import (
+        diurnal_schedule,
+        rate_schedule_arrivals,
+    )
+    from repro.workloads.selection import selection_workload
+
+    horizon = float(os.environ.get("REPRO_BENCH_DIURNAL_HORIZON", "240"))
+    rate_scale = DIURNAL_REFERENCE_SF / sf if sf else 1.0
+    specs = hetero_fleet([
+        NodeGroup(2, prefix="big", hw="paper", wake_latency_s=4.0),
+        NodeGroup(2, prefix="eco", hw="paper-nogpu",
+                  setting=PvcSetting(10, VoltageDowngrade.MEDIUM),
+                  capacity=0.8, sleep_wall_w=2.5, wake_latency_s=6.0),
+    ])
+    schedule = diurnal_schedule(
+        DIURNAL_BASE_RATE * rate_scale, DIURNAL_PEAK_RATE * rate_scale,
+        DIURNAL_PERIOD_S, horizon,
+    )
+    stream = rate_schedule_arrivals(
+        selection_workload(DIURNAL_DISTINCT).queries, schedule,
+        seed=DIURNAL_SEED,
+    )
+    return specs, schedule, stream
+
+
+def diurnal_policies(schedule, sla_s: float = DIURNAL_SLA_S):
+    """The ablation's four routing policies, named.
+
+    ``sla_s`` is the (scale-adjusted) response-time target; the
+    consolidate/dynamic backlog caps and the adaptive deadline all
+    derive from it so the policies face the same goal posts at any
+    scale factor.
+    """
+    from repro.cluster import (
+        AdaptivePvcRouter,
+        ConsolidateRouter,
+        DynamicConsolidateRouter,
+        RoundRobinRouter,
+    )
+
+    backlog = sla_s
+    return [
+        ("spread", RoundRobinRouter()),
+        ("consolidate", ConsolidateRouter(max_backlog_s=backlog)),
+        ("dynamic", DynamicConsolidateRouter(
+            max_backlog_s=backlog, target_utilization=0.5,
+            schedule=schedule,
+        )),
+        ("adaptive_pvc", AdaptivePvcRouter(deadline_s=sla_s)),
+    ]
+
+
+def _phase_of(rate: float, trough: float, crest: float) -> str:
+    """Classify a window's scheduled rate into low / mid / peak,
+    relative to the schedule's own trough/crest (the curve is rescaled
+    per scale factor, so absolute thresholds would misclassify)."""
+    span = crest - trough
+    if rate < trough + span / 3.0:
+        return "low"
+    if rate > trough + 2.0 * span / 3.0:
+        return "peak"
+    return "mid"
+
+
+@dataclass
+class DiurnalAblation:
+    """Static vs dynamic fleet policies under the diurnal profile.
+
+    ``policies`` maps policy name to its aggregate metrics;
+    ``phase_energy`` slices each policy's *modeled* energy into the
+    schedule's low/mid/peak phases (``window_s`` windows, 20 s by
+    default, classified by the scheduled rate at their midpoint).  ``hetero_*`` record the
+    batched-vs-loop playback comparison on the dynamic schedule --
+    proving the heterogeneous-fleet hot path keeps both its exactness
+    and its speedup.
+    """
+
+    arrivals: int
+    horizon_s: float
+    scale_factor: float | None
+    sla_s: float
+    sla_budget: float
+    policies: dict
+    phase_energy: dict
+    hetero_batched_wall_s: float
+    hetero_loop_wall_s: float
+    hetero_max_rel_diff: float
+
+    @property
+    def hetero_speedup(self) -> float:
+        return self.hetero_loop_wall_s / self.hetero_batched_wall_s
+
+    @property
+    def dynamic_beats_spread(self) -> bool:
+        """The acceptance gate: dynamic re-consolidation wins on energy
+        while both policies hold the same SLA-miss budget."""
+        spread = self.policies["spread"]
+        dynamic = self.policies["dynamic"]
+        budget = self.sla_budget * self.arrivals
+        return (
+            dynamic["wall_joules"] < spread["wall_joules"]
+            and dynamic["sla_misses"] <= budget
+            and spread["sla_misses"] <= budget
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["hetero_speedup"] = self.hetero_speedup
+        out["dynamic_beats_spread"] = self.dynamic_beats_spread
+        return out
+
+
+def run_diurnal_ablation(
+    db: Database,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+    window_s: float = 20.0,
+) -> DiurnalAblation:
+    """Run the canonical diurnal scenario under all four policies."""
+    from repro.cluster.simulator import ClusterSimulator
+
+    specs, schedule, stream = diurnal_scenario(scale_factor)
+    # Service times grow ~linearly with SF; keep the SLA (and the
+    # policies' derived knobs) constant in *service-time units*.
+    sla_s = DIURNAL_SLA_S * (
+        scale_factor / DIURNAL_REFERENCE_SF if scale_factor else 1.0
+    )
+    policies: dict[str, dict] = {}
+    phase_energy: dict[str, dict[str, float]] = {}
+    hetero = None
+    for name, router in diurnal_policies(schedule, sla_s):
+        sim = ClusterSimulator(db, specs, router,
+                               trace_cache=trace_cache)
+        scheduled = sim.schedule(stream)
+        start = time.perf_counter()
+        measurement = sim.playback(scheduled, mode="batched")
+        batched_wall = time.perf_counter() - start
+        policies[name] = {
+            "wall_joules": measurement.wall_joules,
+            "edp": measurement.edp,
+            "awake_node_s": measurement.awake_node_s,
+            "re_sleeps": measurement.re_sleeps,
+            "sla_misses": measurement.sla_violations(sla_s),
+            "p95_response_s": measurement.p95_response_s,
+            "served": measurement.served,
+        }
+        trough = schedule.rate_at(0.0)  # the sinusoid opens at its trough
+        slices: dict[str, float] = {"low": 0.0, "mid": 0.0, "peak": 0.0}
+        for window in measurement.window_report(window_s):
+            mid = (window.start_s + window.end_s) / 2.0
+            phase = _phase_of(schedule.rate_at(mid), trough,
+                              schedule.peak_rate)
+            slices[phase] += window.modeled_joules
+        phase_energy[name] = slices
+        if name == "dynamic":
+            start = time.perf_counter()
+            loop = sim.playback(scheduled, mode="loop")
+            loop_wall = time.perf_counter() - start
+            worst = 0.0
+            for a, b in zip(measurement.nodes, loop.nodes):
+                for key in ("wall_joules", "cpu_joules", "duration_s"):
+                    x = getattr(a.playback, key)
+                    y = getattr(b.playback, key)
+                    worst = max(worst, abs(x - y) / (abs(x) or 1.0))
+            hetero = (batched_wall, loop_wall, worst)
+
+    return DiurnalAblation(
+        arrivals=len(stream),
+        horizon_s=schedule.horizon_s,
+        scale_factor=scale_factor,
+        sla_s=sla_s,
+        sla_budget=DIURNAL_SLA_BUDGET,
+        policies=policies,
+        phase_energy=phase_energy,
+        hetero_batched_wall_s=hetero[0],
+        hetero_loop_wall_s=hetero[1],
+        hetero_max_rel_diff=hetero[2],
+    )

@@ -4,13 +4,23 @@ QED's benefit depends on queries arriving over time (the queue must be
 allowed to fill); the paper's experiments issue batches directly, but
 its deployment story is an arrival stream at a master node.  This module
 provides seeded arrival processes for the examples, benchmarks, and
-tests.
+tests -- including the *time-varying* load profiles (diurnal, ramp,
+arbitrary rate schedules) the fleet's dynamic re-consolidation policies
+are measured against.
+
+Every generator returns a list of :class:`Arrival` that is sorted by
+``time_s``, respects its ``start_s`` offset, and is empty when the
+``queries`` list is empty -- the shared :func:`_finalize` helper
+enforces this uniformly, so any stream can feed ``merge_arrivals`` or
+the cluster simulator without per-generator caveats.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -21,6 +31,21 @@ class Arrival:
 
     sql: str
     time_s: float
+
+
+def _finalize(out: list[Arrival], start_s: float) -> list[Arrival]:
+    """Shared stream validation: sorted, never before ``start_s``.
+
+    Each generator funnels its output through here so the whole module
+    upholds one contract (the cluster event loop and ``merge_arrivals``
+    both rely on it).  Violations are generator bugs, hence asserts
+    rather than ``ValueError``.
+    """
+    assert all(b.time_s >= a.time_s for a, b in zip(out, out[1:])), \
+        "generator produced an unsorted stream"
+    assert all(a.time_s >= start_s for a in out), \
+        "generator produced arrivals before start_s"
+    return out
 
 
 def poisson_arrivals(queries: list[str], mean_interarrival_s: float,
@@ -34,7 +59,7 @@ def poisson_arrivals(queries: list[str], mean_interarrival_s: float,
     for sql in queries:
         now += float(rng.exponential(mean_interarrival_s))
         out.append(Arrival(sql, now))
-    return out
+    return _finalize(out, start_s)
 
 
 def uniform_arrivals(queries: list[str], interarrival_s: float,
@@ -43,10 +68,10 @@ def uniform_arrivals(queries: list[str], interarrival_s: float,
     time, the deterministic limit of the Poisson stream)."""
     if interarrival_s <= 0:
         raise ValueError("interarrival_s must be positive")
-    return [
+    return _finalize([
         Arrival(sql, start_s + (i + 1) * interarrival_s)
         for i, sql in enumerate(queries)
-    ]
+    ], start_s)
 
 
 def bursty_arrivals(queries: list[str], burst_size: int,
@@ -66,7 +91,167 @@ def bursty_arrivals(queries: list[str], burst_size: int,
         else:
             now += within_burst_s
         out.append(Arrival(sql, now))
-    return out
+    return _finalize(out, start_s)
+
+
+# -- time-varying load profiles -------------------------------------------
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """A deterministic arrival-rate curve lambda(t), queries/second.
+
+    ``rate`` maps *elapsed* seconds (relative to the stream's
+    ``start_s``) to an instantaneous rate; ``peak_rate`` must bound it
+    from above over the horizon (the thinning envelope).  Schedules are
+    plain data so routers can look *ahead* of real time -- the
+    dynamic-consolidation policy pre-wakes nodes ``wake_latency_s``
+    before a scheduled peak by evaluating the same curve the generator
+    sampled from.
+    """
+
+    rate: Callable[[float], float]
+    peak_rate: float
+    horizon_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0:
+            raise ValueError("peak_rate must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+
+    def rate_at(self, elapsed_s: float) -> float:
+        """lambda at ``elapsed_s``, clamped to [0, peak_rate]."""
+        return min(max(0.0, self.rate(elapsed_s)), self.peak_rate)
+
+    def expected_count(self, resolution: int = 10_000) -> float:
+        """Integral of lambda over the horizon (trapezoidal)."""
+        ts = np.linspace(0.0, self.horizon_s, resolution)
+        rates = np.array([self.rate_at(float(t)) for t in ts])
+        dt = ts[1:] - ts[:-1]
+        return float(((rates[1:] + rates[:-1]) / 2.0 * dt).sum())
+
+
+def diurnal_schedule(base_rate: float, peak_rate: float,
+                     period_s: float, horizon_s: float,
+                     phase_s: float = 0.0) -> RateSchedule:
+    """Sinusoidal day/night curve: troughs at ``base_rate``, crests at
+    ``peak_rate``, one full cycle every ``period_s`` seconds.
+
+    ``phase_s`` shifts the curve; with the default the stream *starts*
+    at the trough (night), so a run opens in the consolidated regime
+    and rides up into the peak.
+    """
+    if not 0.0 <= base_rate <= peak_rate:
+        raise ValueError("need 0 <= base_rate <= peak_rate")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    mid = (base_rate + peak_rate) / 2.0
+    amp = (peak_rate - base_rate) / 2.0
+
+    def rate(t: float) -> float:
+        return mid - amp * math.cos(2.0 * math.pi * (t + phase_s) / period_s)
+
+    return RateSchedule(rate=rate, peak_rate=peak_rate, horizon_s=horizon_s)
+
+
+def ramp_schedule(start_rate: float, end_rate: float,
+                  horizon_s: float) -> RateSchedule:
+    """Linear ramp from ``start_rate`` to ``end_rate`` over the horizon
+    (a morning ramp-up, or a drain-down when ``end_rate`` is lower)."""
+    if start_rate < 0 or end_rate < 0:
+        raise ValueError("rates must be non-negative")
+    if max(start_rate, end_rate) == 0:
+        raise ValueError("at least one endpoint rate must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+
+    def rate(t: float) -> float:
+        return start_rate + (end_rate - start_rate) * (t / horizon_s)
+
+    return RateSchedule(rate=rate, peak_rate=max(start_rate, end_rate),
+                        horizon_s=horizon_s)
+
+
+def piecewise_schedule(
+    phases: Sequence[tuple[float, float]],
+) -> RateSchedule:
+    """Stepwise schedule from ``(duration_s, rate)`` phases, e.g.
+    ``[(60, 2.0), (120, 20.0), (60, 2.0)]`` = low / peak / low."""
+    if not phases:
+        raise ValueError("need at least one phase")
+    for duration, rate in phases:
+        if duration <= 0:
+            raise ValueError("phase durations must be positive")
+        if rate < 0:
+            raise ValueError("phase rates must be non-negative")
+    peak = max(rate for _, rate in phases)
+    if peak == 0:
+        raise ValueError("at least one phase rate must be positive")
+    edges: list[float] = [0.0]
+    for duration, _ in phases:
+        edges.append(edges[-1] + duration)
+
+    def rate_fn(t: float) -> float:
+        for (duration, rate), lo in zip(phases, edges):
+            if t < lo + duration:
+                return rate
+        return phases[-1][1]
+
+    return RateSchedule(rate=rate_fn, peak_rate=peak,
+                        horizon_s=edges[-1])
+
+
+def rate_schedule_arrivals(queries: list[str], schedule: RateSchedule,
+                           seed: int = 0,
+                           start_s: float = 0.0) -> list[Arrival]:
+    """Nonhomogeneous Poisson arrivals following ``schedule``, by
+    thinning (Lewis & Shedler): candidate events fire at ``peak_rate``
+    and survive with probability ``lambda(t) / peak_rate``.
+
+    The number of arrivals is random with mean ``integral of lambda``
+    over the horizon; SQL statements are assigned by cycling through
+    ``queries`` in order, so any non-empty ``queries`` list serves any
+    schedule.  Seeded and sorted, hence ``merge_arrivals``-compatible.
+    """
+    if not queries:
+        return []
+    rng = np.random.default_rng(seed)
+    out: list[Arrival] = []
+    elapsed = 0.0
+    index = 0
+    while True:
+        elapsed += float(rng.exponential(1.0 / schedule.peak_rate))
+        if elapsed > schedule.horizon_s:
+            break
+        if rng.uniform() * schedule.peak_rate <= schedule.rate_at(elapsed):
+            out.append(Arrival(queries[index % len(queries)],
+                               start_s + elapsed))
+            index += 1
+    return _finalize(out, start_s)
+
+
+def diurnal_arrivals(queries: list[str], base_rate: float,
+                     peak_rate: float, period_s: float, horizon_s: float,
+                     seed: int = 0, start_s: float = 0.0,
+                     phase_s: float = 0.0) -> list[Arrival]:
+    """Sinusoidal day/night arrival stream (see :func:`diurnal_schedule`)."""
+    return rate_schedule_arrivals(
+        queries,
+        diurnal_schedule(base_rate, peak_rate, period_s, horizon_s,
+                         phase_s=phase_s),
+        seed=seed, start_s=start_s,
+    )
+
+
+def ramp_arrivals(queries: list[str], start_rate: float, end_rate: float,
+                  horizon_s: float, seed: int = 0,
+                  start_s: float = 0.0) -> list[Arrival]:
+    """Linearly ramping arrival stream (see :func:`ramp_schedule`)."""
+    return rate_schedule_arrivals(
+        queries, ramp_schedule(start_rate, end_rate, horizon_s),
+        seed=seed, start_s=start_s,
+    )
 
 
 def merge_arrivals(*streams: list[Arrival]) -> list[Arrival]:

@@ -1,6 +1,5 @@
 """Cross-cutting property tests on the core mechanisms."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -13,7 +13,6 @@ from repro.db.engine import Database
 from repro.db.profiles import commercial_profile, mysql_profile
 from repro.db.schema import ColumnDef, TableSchema
 from repro.db.types import DataType
-from repro.hardware.profiles import paper_sut
 from repro.measurement.protocol import MeasurementProtocol
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.selection import selection_query

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db.cost_model import build_trace, server_cycles
+from repro.db.cost_model import server_cycles
 from repro.db.engine import Database
 from repro.db.errors import CatalogError
 from repro.db.profiles import (

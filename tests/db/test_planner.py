@@ -17,7 +17,7 @@ from repro.db.plan.physical import (
     format_plan,
 )
 from repro.db.profiles import mysql_profile
-from repro.db.schema import ColumnDef, Table, TableSchema
+from repro.db.schema import ColumnDef, TableSchema
 from repro.db.sql.parser import parse
 from repro.db.types import DataType
 

@@ -190,6 +190,8 @@ class TestRandomFilters:
         leaves = (
             sql_pred.count("=") + sql_pred.count("<") +
             sql_pred.count(">") + sql_pred.count("BETWEEN") * 2 +
-            sql_pred.count(",")
+            # an IN list does one comparison per element: 1 for the
+            # head plus 1 per comma
+            sql_pred.count("IN (") + sql_pred.count(",")
         )
         assert result.stats.total_comparisons <= max(1, leaves) * N_ROWS * 2

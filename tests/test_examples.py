@@ -15,6 +15,7 @@ SCRIPTS = [
     "disk_energy_survey.py",
     "energy_aware_optimizer.py",
     "cluster_energy_policies.py",
+    "diurnal_consolidation.py",
 ]
 
 

@@ -7,10 +7,17 @@ from repro.core.qed.policy import BatchPolicy
 from repro.core.qed.queue import QueryQueue
 from repro.workloads.arrivals import (
     Arrival,
+    RateSchedule,
     bursty_arrivals,
+    diurnal_arrivals,
+    diurnal_schedule,
     drain_through_queue,
     merge_arrivals,
+    piecewise_schedule,
     poisson_arrivals,
+    ramp_arrivals,
+    ramp_schedule,
+    rate_schedule_arrivals,
     uniform_arrivals,
 )
 
@@ -138,3 +145,132 @@ class TestDrainThroughQueue:
         for batch in batches:
             for queued in batch.queries:
                 assert queued.arrival_s <= batch.dispatch_s
+
+
+class TestLoadProfiles:
+    """Time-varying load profiles (ISSUE 4 tentpole)."""
+
+    def _diurnal(self):
+        return diurnal_schedule(base_rate=2.0, peak_rate=20.0,
+                                period_s=100.0, horizon_s=200.0)
+
+    def test_diurnal_curve_shape(self):
+        schedule = self._diurnal()
+        assert schedule.rate_at(0.0) == pytest.approx(2.0)
+        assert schedule.rate_at(50.0) == pytest.approx(20.0)
+        assert schedule.rate_at(100.0) == pytest.approx(2.0)
+        assert schedule.peak_rate == 20.0
+
+    def test_ramp_curve_shape(self):
+        schedule = ramp_schedule(1.0, 9.0, horizon_s=100.0)
+        assert schedule.rate_at(0.0) == pytest.approx(1.0)
+        assert schedule.rate_at(50.0) == pytest.approx(5.0)
+        assert schedule.rate_at(100.0) == pytest.approx(9.0)
+        assert schedule.expected_count() == pytest.approx(500.0, rel=1e-3)
+
+    def test_piecewise_phases(self):
+        schedule = piecewise_schedule([(10.0, 1.0), (20.0, 5.0),
+                                       (10.0, 2.0)])
+        assert schedule.horizon_s == 40.0
+        assert schedule.rate_at(5.0) == 1.0
+        assert schedule.rate_at(15.0) == 5.0
+        assert schedule.rate_at(35.0) == 2.0
+        assert schedule.expected_count() == pytest.approx(
+            10 + 100 + 20, rel=1e-2
+        )
+
+    def test_rate_schedule_integral_matches_count(self):
+        """The thinning generator's arrival count concentrates around
+        the rate integral (Poisson: sigma = sqrt(N))."""
+        schedule = self._diurnal()
+        expected = schedule.expected_count()  # 2200
+        counts = [
+            len(rate_schedule_arrivals(QUERIES, schedule, seed=s))
+            for s in range(5)
+        ]
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(expected, rel=0.05)
+
+    def test_seeded_determinism(self):
+        schedule = self._diurnal()
+        a = rate_schedule_arrivals(QUERIES, schedule, seed=3)
+        b = rate_schedule_arrivals(QUERIES, schedule, seed=3)
+        c = rate_schedule_arrivals(QUERIES, schedule, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_sorted_and_start_offset(self):
+        for stream in (
+            diurnal_arrivals(QUERIES, 2.0, 20.0, 50.0, 100.0,
+                             start_s=7.0),
+            ramp_arrivals(QUERIES, 2.0, 20.0, 100.0, start_s=7.0),
+            rate_schedule_arrivals(QUERIES, self._diurnal(),
+                                   start_s=7.0),
+        ):
+            times = [a.time_s for a in stream]
+            assert times == sorted(times)
+            assert all(t >= 7.0 for t in times)
+            assert all(t <= 7.0 + 200.0 for t in times)
+
+    def test_queries_cycle_in_order(self):
+        stream = ramp_arrivals(QUERIES[:3], 5.0, 5.0, horizon_s=10.0,
+                               seed=1)
+        expected = [QUERIES[i % 3] for i in range(len(stream))]
+        assert [a.sql for a in stream] == expected
+
+    def test_merge_compatible(self):
+        merged = merge_arrivals(
+            diurnal_arrivals(QUERIES[:5], 1.0, 5.0, 50.0, 100.0, seed=1),
+            ramp_arrivals(QUERIES[5:10], 1.0, 5.0, 100.0, seed=2),
+            poisson_arrivals(QUERIES[10:], 10.0, seed=3),
+        )
+        times = [a.time_s for a in merged]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_schedule(5.0, 2.0, 100.0, 100.0)  # base > peak
+        with pytest.raises(ValueError):
+            diurnal_schedule(1.0, 2.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            ramp_schedule(0.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            ramp_schedule(1.0, 2.0, -1.0)
+        with pytest.raises(ValueError):
+            piecewise_schedule([])
+        with pytest.raises(ValueError):
+            piecewise_schedule([(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            RateSchedule(rate=lambda t: 1.0, peak_rate=0.0,
+                         horizon_s=1.0)
+
+
+class TestEmptyStreamNormalization:
+    """All generators accept an empty queries list uniformly and
+    return sorted, start-offset-respecting streams (ISSUE 4 bugfix)."""
+
+    def test_every_generator_returns_empty_stream(self):
+        schedule = ramp_schedule(1.0, 2.0, 10.0)
+        assert poisson_arrivals([], 1.0) == []
+        assert uniform_arrivals([], 1.0) == []
+        assert bursty_arrivals([], 3, 1.0) == []
+        assert rate_schedule_arrivals([], schedule) == []
+        assert diurnal_arrivals([], 1.0, 2.0, 10.0, 10.0) == []
+        assert ramp_arrivals([], 1.0, 2.0, 10.0) == []
+
+    def test_empty_streams_merge(self):
+        assert merge_arrivals([], [], []) == []
+
+    def test_parameter_validation_still_fires_on_empty(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([], 0.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals([], -1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals([], 0, 1.0)
+
+    def test_bursty_respects_start_offset(self):
+        stream = bursty_arrivals(QUERIES, 4, 10.0, start_s=3.0)
+        assert all(a.time_s >= 3.0 for a in stream)
+        times = [a.time_s for a in stream]
+        assert times == sorted(times)
