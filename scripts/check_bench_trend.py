@@ -13,7 +13,8 @@ just wrote) against the committed ``BENCH_perf.json``:
   by more than ``--max-regression`` (20% by default) -- the trend gate;
 * when configurations differ (the CI smoke runs shrink the scenarios),
   only the absolute floor applies (every gated speedup must stay
-  >= 5x), because a smaller scenario legitimately amortizes less --
+  >= 5x; the QED ablation's energy savings must stay positive),
+  because a smaller scenario legitimately amortizes less --
   a smoke run failing a full-size trend threshold would be noise,
   not signal.
 
@@ -35,9 +36,25 @@ DEFAULT_KEYS = (
     "speedup_cached",
     "cluster_scaling.speedup",
     "diurnal.hetero_speedup",
+    "qed.master_vs_node_saving",
+    "qed.node_vs_off_saving",
 )
 #: Absolute floor every gated speedup must clear regardless of config.
 SPEEDUP_FLOOR = 5.0
+#: Keys that are not speedups get their own absolute floor (the QED
+#: ablation gates energy *savings* -- fractions that must stay
+#: positive, not 5x multipliers).
+FLOORS = {
+    "qed.master_vs_node_saving": 0.0,
+    "qed.node_vs_off_saving": 0.0,
+}
+
+
+def fmt_value(key: str, value: float) -> str:
+    """Savings print as percentages, speedups as multipliers."""
+    if key.endswith("_saving"):
+        return f"{value:.1%}"
+    return f"{value:.1f}x"
 
 
 def dig(record: dict, dotted: str):
@@ -60,6 +77,14 @@ CONFIG_FIELDS = {
     ),
     "diurnal.hetero_speedup": (
         "diurnal.arrivals", "diurnal.horizon_s", "diurnal.scale_factor",
+    ),
+    "qed.master_vs_node_saving": (
+        "qed.arrivals", "qed.nodes", "qed.threshold",
+        "qed.scale_factor",
+    ),
+    "qed.node_vs_off_saving": (
+        "qed.arrivals", "qed.nodes", "qed.threshold",
+        "qed.scale_factor",
     ),
 }
 
@@ -125,25 +150,32 @@ def main(argv: list[str] | None = None) -> int:
         if value is None:
             failures.append(f"{key}: missing from fresh artifact")
             continue
-        status = f"{key}: fresh {value:.1f}x"
-        if value < SPEEDUP_FLOOR:
+        floor = FLOORS.get(key, SPEEDUP_FLOOR)
+        status = f"{key}: fresh {fmt_value(key, value)}"
+        # Savings gate strictly (a 0% saving means the win is gone);
+        # speedups only need to reach their floor.
+        too_low = value <= floor if key in FLOORS else value < floor
+        if too_low:
             failures.append(
-                f"{key}: {value:.2f}x is under the {SPEEDUP_FLOOR:g}x floor"
+                f"{key}: {fmt_value(key, value)} is under the "
+                f"{fmt_value(key, floor)} floor"
             )
             continue
         base = dig(baseline, key)
         if base is None:
             status += "  (no baseline; floor gate only)"
         elif not configs_match(key, fresh, baseline):
-            status += (f"  (baseline {base:.1f}x at a different config; "
-                       "floor gate only)")
+            status += (f"  (baseline {fmt_value(key, base)} at a "
+                       "different config; floor gate only)")
         else:
             threshold = (1.0 - args.max_regression) * base
-            status += f"  vs baseline {base:.1f}x (needs >= {threshold:.1f}x)"
+            status += (f"  vs baseline {fmt_value(key, base)} "
+                       f"(needs >= {fmt_value(key, threshold)})")
             if value < threshold:
                 failures.append(
-                    f"{key}: {value:.2f}x regressed > "
-                    f"{args.max_regression:.0%} from baseline {base:.2f}x"
+                    f"{key}: {fmt_value(key, value)} regressed > "
+                    f"{args.max_regression:.0%} from baseline "
+                    f"{fmt_value(key, base)}"
                 )
         print(status)
 

@@ -5,7 +5,7 @@
 #   scripts/ci.sh --stage lint     # syntax/bytecode sanity only
 #   scripts/ci.sh --stage tests    # tier-1 pytest suite
 #   scripts/ci.sh --stage perf     # sweep perf smoke bench
-#   scripts/ci.sh --stage cluster  # cluster + diurnal smoke benches
+#   scripts/ci.sh --stage cluster  # cluster + diurnal + qed smoke benches
 #
 # The perf benches run at a tiny scale factor and enforce the >= 5x
 # speedup gates (they also refresh the smoke copy of BENCH_perf.json;
@@ -62,10 +62,15 @@ run_cluster() {
     REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
     REPRO_BENCH_DIURNAL_HORIZON="${REPRO_BENCH_DIURNAL_HORIZON:-120}" \
         python -m pytest benchmarks/bench_ablation_diurnal.py -x -q
+    echo "== qed ablation smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_QED_ARRIVALS="${REPRO_BENCH_QED_ARRIVALS:-300}" \
+        python -m pytest benchmarks/bench_ablation_qed.py -x -q
     echo "== perf trend gate (cluster) =="
     python scripts/check_bench_trend.py \
         --fresh "$SMOKE_JSON" \
-        --keys cluster_scaling.speedup diurnal.hetero_speedup
+        --keys cluster_scaling.speedup diurnal.hetero_speedup \
+               qed.master_vs_node_saving qed.node_vs_off_saving
 }
 
 case "$STAGE" in

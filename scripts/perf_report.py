@@ -1,11 +1,11 @@
-"""Time the perf pipelines (sweep + cluster + diurnal) and write
+"""Time the perf pipelines (sweep + cluster + diurnal + QED) and write
 ``BENCH_perf.json``.
 
     PYTHONPATH=src python scripts/perf_report.py [sf] [out.json] \
         [--trace-cache DIR]
     PYTHONPATH=src python scripts/perf_report.py --check [out.json]
 
-Runs three comparisons and records them in one artifact:
+Runs four comparisons and records them in one artifact:
 
 * the 7-setting x 5-repeat PVC sweep over the ten-query selection
   workload, naive re-execution vs execute-once/replay-many (cold and
@@ -17,7 +17,10 @@ Runs three comparisons and records them in one artifact:
   ``cluster_scaling`` key;
 * the diurnal ablation (four fleet policies on a heterogeneous fleet
   under the day/night rate schedule), appended under ``diurnal``,
-  including the heterogeneous batched-vs-loop playback comparison.
+  including the heterogeneous batched-vs-loop playback comparison;
+* the QED ablation (master queue vs per-node queues vs no queueing on
+  the mixed-template stream), appended under ``qed``, gating
+  master <= node <= off on cluster energy at the shared SLA budget.
 
 Every artifact refresh also appends a ``history`` entry (timestamp +
 gated speedups), so the perf trajectory stays machine-readable --
@@ -57,6 +60,8 @@ CHECK_GATES = [
     ("diurnal.hetero_speedup", "min", 5.0),
     ("diurnal.hetero_max_rel_diff", "max", 1e-9),
     ("diurnal.dynamic_beats_spread", "true", None),
+    ("qed.master_beats_node", "true", None),
+    ("qed.node_beats_off", "true", None),
 ]
 
 
@@ -113,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         compare_cluster_playback,
         compare_sweep_paths,
         run_diurnal_ablation,
+        run_qed_ablation,
     )
     from repro.workloads.runner import TraceCache
     from repro.workloads.selection import SelectionWorkload
@@ -183,12 +189,32 @@ def main(argv: list[str] | None = None) -> int:
           f"(deviation {diurnal.hetero_max_rel_diff:.2e})")
     print(f"dynamic beats spread  : {diurnal.dynamic_beats_spread}")
 
+    qed = run_qed_ablation(db, scale_factor=args.sf,
+                           trace_cache=trace_cache)
+    print(f"\nqed ablation          : {qed.arrivals} arrivals over "
+          f"{qed.nodes} nodes (threshold {qed.threshold}, "
+          f"SLA {qed.sla_s:g} s, budget {qed.sla_budget:.0%})")
+    for name, stats in qed.modes.items():
+        batching = (
+            f"  batches {stats['qed_batches']:3d} "
+            f"(mean {stats['qed_mean_batch_size']:.1f}, "
+            f"fallbacks {stats['qed_fallback_batches']})"
+            if "qed_batches" in stats else ""
+        )
+        print(f"  {name:7s} {stats['wall_joules']:9.1f} J  "
+              f"SLA misses {stats['sla_misses']:3d}{batching}")
+    print(f"master beats node     : {qed.master_beats_node} "
+          f"(saving {qed.master_vs_node_saving:.1%})")
+    print(f"node beats off        : {qed.node_beats_off} "
+          f"(saving {qed.node_vs_off_saving:.1%})")
+
     record = (
         json.loads(args.out.read_text()) if args.out.exists() else {}
     )
     record.update(comparison.to_dict())
     record["cluster_scaling"] = cluster.to_dict()
     record["diurnal"] = diurnal.to_dict()
+    record["qed"] = qed.to_dict()
     args.out.write_text(json.dumps(record, indent=2))
     append_history(args.out, record)
     print(f"wrote {args.out}")
@@ -201,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
         and diurnal.hetero_speedup >= 5.0
         and diurnal.hetero_max_rel_diff <= 1e-9
         and diurnal.dynamic_beats_spread
+        and qed.master_beats_node
+        and qed.node_beats_off
     )
     return 0 if ok else 1
 

@@ -29,6 +29,7 @@ from repro.cluster import (
     ClusterSimulator,
     ConsolidateRouter,
     LeastLoadedRouter,
+    MasterQueue,
     NodeSpec,
     PowerCapRouter,
     RoundRobinRouter,
@@ -111,6 +112,7 @@ __all__ = [
     "ENERGY_OPTIMAL",
     "Fleet",
     "LeastLoadedRouter",
+    "MasterQueue",
     "NodeSpec",
     "PlanCoster",
     "Placement",

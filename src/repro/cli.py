@@ -8,6 +8,8 @@
     python -m repro cluster --nodes 8 --arrivals 500 --policy consolidate
     python -m repro cluster --profile diurnal --policy dynamic \
         --fleet examples/hetero_fleet.json --window 30
+    python -m repro cluster --qed master --qed-threshold 20 \
+        --qed-max-wait 0.3 --qed-placement hash
     python -m repro experiments --sf 0.02      # everything, compact
 
 Each reproduction command prints a paper-vs-measured table (see
@@ -178,9 +180,13 @@ def cmd_cluster(args) -> int:
     from repro.cluster import (
         AdaptivePvcRouter,
         ClusterSimulator,
+        ConsolidatePlacement,
         ConsolidateRouter,
         DynamicConsolidateRouter,
+        HashSplitPlacement,
+        LeastLoadedPlacement,
         LeastLoadedRouter,
+        MasterQueue,
         PowerCapRouter,
         RoundRobinRouter,
         uniform_fleet,
@@ -191,14 +197,64 @@ def cmd_cluster(args) -> int:
     from repro.workloads.selection import selection_workload
     from repro.workloads.tpch.generator import tpch_database
 
-    if args.policy == "powercap" and args.qed_batch is not None:
-        print("error: the powercap policy cannot cap nodes with QED "
-              "queues; drop --qed-batch or pick another policy",
+    if args.qed_batch is not None and args.qed_threshold is not None:
+        print("error: --qed-batch is a deprecated alias of "
+              "--qed-threshold; pass one, not both", file=sys.stderr)
+        return 2
+    threshold = (
+        args.qed_threshold if args.qed_threshold is not None
+        else args.qed_batch
+    )
+    if args.qed is None:
+        # Back-compat: --qed-batch alone means per-node queues.  The
+        # canonical --qed-threshold never implies a mode on its own.
+        if args.qed_batch is None and args.qed_threshold is not None:
+            print("error: --qed-threshold needs --qed master|node",
+                  file=sys.stderr)
+            return 2
+        qed_mode = "node" if args.qed_batch is not None else "off"
+    else:
+        qed_mode = args.qed
+        if qed_mode != "node" and args.qed_batch is not None:
+            print("error: --qed-batch implies --qed node and "
+                  f"contradicts --qed {qed_mode}; use --qed-threshold",
+                  file=sys.stderr)
+            return 2
+        if qed_mode == "off" and threshold is not None:
+            print("error: --qed off contradicts --qed-threshold; "
+                  "drop one", file=sys.stderr)
+            return 2
+    if qed_mode != "off" and threshold is None:
+        print("error: --qed master|node needs --qed-threshold (the "
+              "batch-dispatch threshold)", file=sys.stderr)
+        return 2
+    if qed_mode == "off" and args.qed_max_wait is not None:
+        print("error: --qed-max-wait needs --qed master|node (no queue "
+              "exists without a QED mode)", file=sys.stderr)
+        return 2
+    if args.qed_placement is not None and qed_mode != "master":
+        print("error: --qed-placement only applies to --qed master "
+              "(per-node queues dispatch on their own node)",
               file=sys.stderr)
         return 2
-    if args.qed_max_wait is not None and args.qed_batch is None:
-        print("error: --qed-max-wait needs --qed-batch (no queue "
-              "exists without a batch threshold)", file=sys.stderr)
+    if (
+        qed_mode == "master"
+        and args.policy in ("consolidate", "dynamic", "adaptive")
+        and (args.qed_placement or "least") != "consolidate"
+    ):
+        print("error: a consolidate- or adaptive-family --policy under "
+              "--qed master needs --qed-placement consolidate (the "
+              "policy only acts on routed dispatches)", file=sys.stderr)
+        return 2
+    if args.policy == "powercap" and qed_mode != "off":
+        print("error: the powercap policy cannot cap QED-queued work "
+              "(batch dispatch re-times it); drop --qed or pick "
+              "another policy", file=sys.stderr)
+        return 2
+    if qed_mode == "node" and args.fleet is not None:
+        print("error: --qed node cannot apply to a --fleet description "
+              "(its groups carry no queue policy); use --qed master",
+              file=sys.stderr)
         return 2
     # Validate every flag-derived object *before* the expensive
     # database build so bad flags fail fast with a clean message.
@@ -226,15 +282,25 @@ def cmd_cluster(args) -> int:
                 cap_w=args.cap_w, max_delay_s=args.max_delay
             )
         policy = (
-            BatchPolicy(args.qed_batch, max_wait_s=args.qed_max_wait)
-            if args.qed_batch is not None else None
+            BatchPolicy(threshold, max_wait_s=args.qed_max_wait)
+            if qed_mode != "off" else None
         )
+        master_queue = None
+        if qed_mode == "master":
+            placement = {
+                "least": LeastLoadedPlacement,
+                "consolidate": ConsolidatePlacement,
+                "hash": HashSplitPlacement,
+            }[args.qed_placement or "least"]()
+            master_queue = MasterQueue(policy, placement=placement)
         if args.fleet is not None:
             specs = _load_fleet(args.fleet)
         else:
-            specs = uniform_fleet(args.nodes,
-                                  wake_latency_s=args.wake_latency,
-                                  queue_policy=policy)
+            specs = uniform_fleet(
+                args.nodes,
+                wake_latency_s=args.wake_latency,
+                queue_policy=policy if qed_mode == "node" else None,
+            )
         if args.window is not None and args.window <= 0:
             raise ValueError("--window must be positive")
         if not stream:
@@ -254,7 +320,8 @@ def cmd_cluster(args) -> int:
                                 seed=0, tables=("lineitem",))
         if args.trace_cache else None
     )
-    sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache)
+    sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache,
+                           master_queue=master_queue)
     try:
         m = sim.run(stream, mode=args.playback)
     except ValueError as exc:
@@ -274,6 +341,19 @@ def cmd_cluster(args) -> int:
     print(f"  served {m.served}, shed {len(m.shed)}, "
           f"awake nodes {m.awake_nodes}/{len(m.nodes)}, "
           f"re-sleeps {m.re_sleeps}")
+    if m.qed is not None:
+        q = m.qed
+        print(f"  QED ({q.mode}): {q.batches} batches, mean size "
+              f"{q.mean_batch_size:.1f}, {q.merged_windows} merged / "
+              f"{q.singleton_windows} singleton windows, "
+              f"{q.fallback_batches} non-mergeable fallbacks")
+        print(f"  {'partition':44s} {'queries':>7} {'batches':>7} "
+              f"{'mean':>5} {'max':>4} {'merged':>6} {'fallbk':>6}")
+        for p in q.partitions:
+            print(f"  {p.partition[:44]:44s} {p.queries:7d} "
+                  f"{p.batches:7d} {p.mean_batch_size:5.1f} "
+                  f"{p.max_batch:4d} {p.merged_windows:6d} "
+                  f"{p.fallback_batches:6d}")
     print(f"  horizon        : {m.horizon_s:10.2f} s")
     print(f"  wall energy    : {m.wall_joules:10.1f} J "
           f"(avg {m.avg_power_w:.1f} W, peak model {m.peak_power_w:.1f} W)")
@@ -368,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "rate-schedule driven; --arrivals is ignored)")
     p.add_argument("--fleet", default=None, metavar="FLEET.json",
                    help="heterogeneous fleet description (overrides "
-                        "--nodes/--wake-latency/--qed-*)")
+                        "--nodes/--wake-latency; composes with "
+                        "--qed master, excludes --qed node)")
     p.add_argument("--mean-interarrival", type=float, default=0.05,
                    help="poisson/uniform mean inter-arrival time (s)")
     p.add_argument("--base-rate", type=float, default=2.0,
@@ -398,10 +479,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="powercap: fleet wall-power cap (W)")
     p.add_argument("--max-delay", type=float, default=None,
                    help="powercap: shed if delayed more than this (s)")
-    p.add_argument("--qed-batch", type=int, default=None,
-                   help="per-node QED queue batch threshold")
+    p.add_argument("--qed", choices=("master", "node", "off"),
+                   default=None,
+                   help="QED admission queueing: one master queue on "
+                        "the coordinator partitioned by mergeable "
+                        "template (the paper's design), a private "
+                        "queue per node, or none")
+    p.add_argument("--qed-threshold", type=int, default=None,
+                   help="QED batch-dispatch threshold (queries)")
     p.add_argument("--qed-max-wait", type=float, default=None,
-                   help="per-node QED queue timeout (s)")
+                   help="QED queue timeout (s): a partial batch "
+                        "dispatches once its oldest query waited this "
+                        "long")
+    p.add_argument("--qed-placement",
+                   choices=("least", "consolidate", "hash"),
+                   default=None,
+                   help="master-queue batch placement (default least): "
+                        "least-loaded awake node, delegate to the "
+                        "routing policy (cooperates with dynamic "
+                        "consolidation), or hash-split one merged "
+                        "batch across nodes")
+    p.add_argument("--qed-batch", type=int, default=None,
+                   help="deprecated alias: per-node threshold "
+                        "(implies --qed node)")
     p.add_argument("--sla", type=float, default=None,
                    help="report response-time SLA misses (s)")
     p.add_argument("--playback", choices=("batched", "loop"),

@@ -8,17 +8,28 @@ setting (and optionally a per-node QED queue), under pluggable routing
 policies -- spread, least-loaded, consolidate-with-sleep, *dynamic*
 re-consolidation (EWMA-sized awake set that re-sleeps drained nodes
 and pre-wakes ahead of scheduled peaks), adaptive per-node PVC
-control, power-cap.  Fleets may be heterogeneous: node groups differ
+control, power-cap.  QED can instead run the paper's actual deployment
+design: a :class:`MasterQueue` on the always-on coordinator partitions
+the whole arrival stream by mergeable template and hands merged
+batches to a :class:`BatchPlacement` policy (least-loaded,
+consolidate-cooperating, or hash-split across nodes).  Fleets may be heterogeneous: node groups differ
 in hardware profile, PVC setting, capacity, and sleep/wake
 characteristics.  The hot path is batched compiled-trace playback:
 every node's whole timeline plays as one stacked array operation per
 distinct (hardware profile, setting) pair.
 """
 
+from repro.cluster.master_queue import (
+    DispatchedBatch,
+    MasterQueue,
+    PASSTHROUGH,
+)
 from repro.cluster.measure import (
     ClusterMeasurement,
     NodeUsage,
     PhaseWindow,
+    QedPartitionStats,
+    QedReport,
     QueryResponse,
     ShedQuery,
 )
@@ -33,9 +44,13 @@ from repro.cluster.node import (
 from repro.cluster.playback import play_batched, play_loop, playback_groups
 from repro.cluster.routing import (
     AdaptivePvcRouter,
+    BatchPlacement,
+    ConsolidatePlacement,
     ConsolidateRouter,
     Decision,
     DynamicConsolidateRouter,
+    HashSplitPlacement,
+    LeastLoadedPlacement,
     LeastLoadedRouter,
     PowerCapRouter,
     RoundRobinRouter,
@@ -45,18 +60,27 @@ from repro.cluster.simulator import ClusterSchedule, ClusterSimulator
 
 __all__ = [
     "AdaptivePvcRouter",
+    "BatchPlacement",
     "ClusterMeasurement",
     "ClusterSchedule",
     "ClusterSimulator",
+    "ConsolidatePlacement",
     "ConsolidateRouter",
     "Decision",
+    "DispatchedBatch",
     "DynamicConsolidateRouter",
+    "HashSplitPlacement",
+    "LeastLoadedPlacement",
     "LeastLoadedRouter",
+    "MasterQueue",
     "NodeGroup",
     "NodeSpec",
     "NodeUsage",
+    "PASSTHROUGH",
     "PhaseWindow",
     "PowerCapRouter",
+    "QedPartitionStats",
+    "QedReport",
     "QueryResponse",
     "RoundRobinRouter",
     "Router",

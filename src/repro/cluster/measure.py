@@ -75,6 +75,98 @@ class ScheduledWork:
 
 
 @dataclass
+class QedPartitionStats:
+    """Batch/merge accounting for one QED partition (or node queue).
+
+    ``queries``/``batches``/``max_batch`` count *dispatches* out of the
+    admission queue; the window counters record what the scheduler
+    actually placed: ``merged_windows`` disjunctive executions,
+    ``singleton_windows`` single-query executions (size-1 batches,
+    pass-through queries, and fallback members), and
+    ``fallback_batches`` batches the aggregator rejected
+    (``NotMergeableError``) that degraded to back-to-back singletons
+    instead of crashing the schedule.
+    """
+
+    partition: str
+    queries: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    merged_windows: int = 0
+    singleton_windows: int = 0
+    fallback_batches: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+
+@dataclass
+class QedReport:
+    """Fleet-wide QED accounting for one run, per partition.
+
+    ``mode`` is ``"master"`` (one coordinator queue partitioned by
+    mergeable template) or ``"node"`` (a private queue per node, keyed
+    ``node:<name>``).
+    """
+
+    mode: str
+    partitions: list[QedPartitionStats] = field(default_factory=list)
+
+    def get(self, partition: str) -> QedPartitionStats | None:
+        for stats in self.partitions:
+            if stats.partition == partition:
+                return stats
+        return None
+
+    @property
+    def queries(self) -> int:
+        return sum(p.queries for p in self.partitions)
+
+    @property
+    def batches(self) -> int:
+        return sum(p.batches for p in self.partitions)
+
+    @property
+    def merged_windows(self) -> int:
+        return sum(p.merged_windows for p in self.partitions)
+
+    @property
+    def singleton_windows(self) -> int:
+        return sum(p.singleton_windows for p in self.partitions)
+
+    @property
+    def fallback_batches(self) -> int:
+        return sum(p.fallback_batches for p in self.partitions)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "merged_windows": self.merged_windows,
+            "singleton_windows": self.singleton_windows,
+            "fallback_batches": self.fallback_batches,
+            "partitions": {
+                p.partition: {
+                    "queries": p.queries,
+                    "batches": p.batches,
+                    "mean_batch_size": p.mean_batch_size,
+                    "max_batch": p.max_batch,
+                    "merged_windows": p.merged_windows,
+                    "singleton_windows": p.singleton_windows,
+                    "fallback_batches": p.fallback_batches,
+                }
+                for p in self.partitions
+            },
+        }
+
+
+@dataclass
 class NodeUsage:
     """One node's share of a cluster run.
 
@@ -170,6 +262,7 @@ class ClusterMeasurement:
     shed: list[ShedQuery] = field(default_factory=list)
     peak_power_w: float = 0.0
     cap_w: float | None = None
+    qed: QedReport | None = None
 
     # -- energy -----------------------------------------------------------
 
@@ -349,7 +442,7 @@ class ClusterMeasurement:
 
     def summary(self) -> dict[str, float]:
         """Flat scalar summary (CLI table / benchmark artifacts)."""
-        return {
+        out = {
             "horizon_s": self.horizon_s,
             "served": float(self.served),
             "shed": float(len(self.shed)),
@@ -369,3 +462,14 @@ class ClusterMeasurement:
             "awake_node_s": self.awake_node_s,
             "re_sleeps": float(self.re_sleeps),
         }
+        if self.qed is not None:
+            out.update({
+                "qed_batches": float(self.qed.batches),
+                "qed_mean_batch_size": self.qed.mean_batch_size,
+                "qed_merged_windows": float(self.qed.merged_windows),
+                "qed_singleton_windows": float(
+                    self.qed.singleton_windows
+                ),
+                "qed_fallback_batches": float(self.qed.fallback_batches),
+            })
+        return out

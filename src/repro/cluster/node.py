@@ -155,6 +155,11 @@ class TimelineAccounting:
     """
 
     @property
+    def awake(self) -> bool:
+        """Awake or in its wake transition (not serviceable until ready)."""
+        return not (self.sleep_log and self.sleep_log[-1][1] is None)
+
+    @property
     def busy_s(self) -> float:
         return sum(w.service_s for w in self.scheduled)
 
@@ -246,11 +251,6 @@ class SimulatedNode(TimelineAccounting):
             QueryQueue(self.spec.queue_policy)
             if self.spec.queue_policy is not None else None
         )
-
-    @property
-    def awake(self) -> bool:
-        """Awake or in its wake transition (not serviceable until ready)."""
-        return not (self.sleep_log and self.sleep_log[-1][1] is None)
 
     @property
     def ready_s(self) -> float:

@@ -36,6 +36,7 @@ become routing policies over the simulated fleet:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.cluster.node import SimulatedNode
@@ -356,6 +357,129 @@ class AdaptivePvcRouter(Router):
             self._level[name] = stepped
             node.set_setting(self.ladder[stepped], now_s)
         return Decision(node, now_s)
+
+
+# -- master-queue batch placement ------------------------------------------
+
+
+def _stable_hash(value: object) -> int:
+    """Process-independent hash of a routing value (``PYTHONHASHSEED``
+    randomizes builtin ``hash`` for strings, which would make shard
+    placement -- and therefore every simulated energy number --
+    unreproducible across runs)."""
+    return zlib.crc32(repr(value).encode())
+
+
+class BatchPlacement:
+    """Where a master-queue batch runs: a policy over *whole batches*.
+
+    The master queue (see :mod:`repro.cluster.master_queue`) dispatches
+    merged batches rather than single queries, so placement is a
+    separate policy axis from per-arrival routing: ``place`` maps one
+    dispatched batch to one or more ``(node, queries)`` assignments.
+    Splitting a batch keeps each shard mergeable (shards of a mergeable
+    partition share its template).
+
+    ``service_by_node`` estimates one representative query of the batch
+    on every node -- enough for load comparison; the exact merged cost
+    is resolved per node when the shard is scheduled.
+    """
+
+    def prepare(self, router: Router,
+                nodes: list[SimulatedNode]) -> None:
+        """Bind the run's router (called once before the event loop,
+        after ``router.prepare``)."""
+        self.router = router
+
+    def place(self, batch, merged, now_s: float,
+              service_by_node, nodes: list[SimulatedNode]):
+        """``[(node, queries), ...]`` covering every query in ``batch``
+        exactly once (empty list: shed the whole batch)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _awake(nodes: list[SimulatedNode]) -> list[SimulatedNode]:
+        awake = [n for n in nodes if n.awake]
+        return awake or nodes  # a fully asleep fleet falls back to waking
+
+
+class LeastLoadedPlacement(BatchPlacement):
+    """The whole batch goes to the awake node finishing it soonest."""
+
+    def place(self, batch, merged, now_s, service_by_node, nodes):
+        node = earliest_completion_node(
+            self._awake(nodes), now_s, service_by_node
+        )
+        if not node.awake:
+            node.wake(now_s)
+        return [(node, batch.queries)]
+
+
+class ConsolidatePlacement(BatchPlacement):
+    """Delegate placement to the run's (consolidate-family) router.
+
+    Each dispatched batch is routed like one arrival, so a
+    :class:`DynamicConsolidateRouter` keeps doing its awake-set sizing
+    -- EWMA observation, re-sleeping drained nodes, pre-waking ahead of
+    scheduled peaks -- off the master queue's *dispatch* stream.  Fewer,
+    larger dispatches concentrate work, which is exactly what lets the
+    awake set shrink below what per-arrival routing sustains.
+    """
+
+    def place(self, batch, merged, now_s, service_by_node, nodes):
+        decision = self.router.route(
+            batch.queries[0].sql, now_s, service_by_node, nodes
+        )
+        if decision.node is None:
+            return []
+        return [(decision.node, batch.queries)]
+
+
+class HashSplitPlacement(BatchPlacement):
+    """Split one merged batch across awake nodes by routing value.
+
+    When the merged query is hash-routable (every predicate
+    ``column = literal``; :attr:`MergedQuery.routing_column`), the
+    batch's queries shard by ``hash(value) % k`` over the ``k``
+    least-loaded awake nodes -- one smaller merged execution per shard,
+    in parallel, the way a real deployment would fan a fleet-wide batch
+    out over replicas.  Non-routable (or singleton) batches fall back
+    to least-loaded whole-batch placement.
+    """
+
+    def __init__(self, fanout: int | None = None):
+        if fanout is not None and fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = fanout
+
+    def place(self, batch, merged, now_s, service_by_node, nodes):
+        targets = sorted(
+            self._awake(nodes),
+            key=lambda n: (
+                max(now_s, n.ready_s) + service_by_node[n.spec.name],
+                n.spec.name,
+            ),
+        )
+        k = min(len(targets), self.fanout or len(targets), batch.size)
+        if merged is None or not merged.hash_routable or k < 2:
+            node = targets[0]
+            if not node.awake:
+                node.wake(now_s)
+            return [(node, batch.queries)]
+        targets = targets[:k]
+        shards: list[list] = [[] for _ in range(k)]
+        for query, value in zip(batch.queries, merged.routing_values):
+            # Builtin hash() is randomized per process for strings;
+            # shard placement must be reproducible across runs.
+            shards[_stable_hash(value) % k].append(query)
+        out = []
+        for node, shard in zip(targets, shards):
+            if not shard:
+                continue
+            if not node.awake:
+                node.wake(now_s)
+            out.append((node, shard))
+        return out
 
 
 @dataclass(frozen=True)

@@ -3,10 +3,13 @@
 The paper's deployment story at production scale: an arrival stream of
 queries hits a master, a routing policy places each query on a node
 (possibly waking it, re-sleeping it, delaying it, or shedding it),
-per-node QED queues may batch arrivals into merged executions, and
-every node is a calibrated machine model -- possibly from a different
-hardware profile per node group -- pinned to (or walked through) its
-own PVC operating points.
+QED queues may batch arrivals into merged executions -- either a
+private queue per node, or the paper's actual design, one
+:class:`~repro.cluster.master_queue.MasterQueue` on the always-on
+coordinator partitioned by mergeable template and feeding merged
+batches to a batch-placement policy -- and every node is a calibrated
+machine model -- possibly from a different hardware profile per node
+group -- pinned to (or walked through) its own PVC operating points.
 
 The simulation is split into two phases so the hot path stays a handful
 of array operations:
@@ -33,9 +36,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+from repro.cluster.master_queue import DispatchedBatch, MasterQueue
 from repro.cluster.measure import (
     ClusterMeasurement,
     NodeUsage,
+    QedPartitionStats,
+    QedReport,
     QueryResponse,
     ShedQuery,
 )
@@ -47,10 +53,15 @@ from repro.cluster.node import (
     node_timeline_pieces,
 )
 from repro.cluster.playback import play_batched, play_loop
-from repro.cluster.routing import Router
-from repro.core.qed.aggregator import merge_queries
+from repro.cluster.routing import (
+    AdaptivePvcRouter,
+    ConsolidatePlacement,
+    ConsolidateRouter,
+    Router,
+)
+from repro.core.qed.aggregator import NotMergeableError, merge_queries
 from repro.core.qed.executor import merged_batch_execution
-from repro.core.qed.queue import Batch
+from repro.core.qed.queue import Batch, QueuedQuery
 from repro.db.engine import Database
 from repro.hardware.cpu import PvcSetting
 from repro.hardware.system import SystemUnderTest
@@ -94,10 +105,6 @@ class NodeTimeline(TimelineAccounting):
             setting_log=tuple(node.setting_log),
         )
 
-    @property
-    def awake(self) -> bool:
-        return not (self.sleep_log and self.sleep_log[-1][1] is None)
-
 
 @dataclass
 class ClusterSchedule:
@@ -112,6 +119,7 @@ class ClusterSchedule:
     peak_power_w: float
     cap_w: float | None
     workload_class: str
+    qed: QedReport | None = None
 
     @property
     def scheduled_pieces(self) -> int:
@@ -177,12 +185,41 @@ class ClusterSimulator:
         client: ClientModel | None = None,
         trace_cache: TraceCache | None = None,
         sut_factories: dict[str, Callable[[], SystemUnderTest]] | None = None,
+        master_queue: MasterQueue | None = None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one node")
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
+        if master_queue is not None:
+            if any(s.queue_policy is not None for s in specs):
+                raise ValueError(
+                    "a master admission queue replaces per-node QED "
+                    "queues; drop the node specs' queue_policy"
+                )
+            if getattr(router, "cap_w", None) is not None:
+                # Same reasoning as PowerCapRouter's per-node-queue
+                # check: batch dispatch re-times work the cap never saw.
+                raise ValueError(
+                    "PowerCapRouter cannot cap a master-queued cluster; "
+                    "drop the master queue or use another router"
+                )
+            stateful = (ConsolidateRouter, AdaptivePvcRouter)
+            if isinstance(router, stateful) and not isinstance(
+                master_queue.placement, ConsolidatePlacement
+            ):
+                # These routers only act from route() -- which the
+                # master loop never calls.  A consolidate family would
+                # funnel the whole stream onto its one awake node; an
+                # adaptive-PVC router would pin every node to the
+                # cheapest ladder rung and never adapt.
+                raise ValueError(
+                    "a consolidate- or adaptive-family router under a "
+                    "master queue needs ConsolidatePlacement (the "
+                    "router only acts on routed dispatches)"
+                )
+        self.master_queue = master_queue
         factories = dict(SUT_FACTORIES)
         if sut_factories:
             factories.update(sut_factories)
@@ -277,50 +314,55 @@ class ClusterSimulator:
 
         self.router.prepare(self.nodes)
         shed: list[ShedQuery] = []
-        queued = [n for n in self.nodes if n.queue is not None]
-        for arrival in arrivals:
-            now = arrival.time_s
-            for node in queued:  # timeout-based QED dispatches
-                batch = self._expire_queue(node, now)
-                if batch is not None:
-                    self._schedule_batch(
-                        node, batch, table, durations, workload_class,
-                    )
-            service_by_node = service_views[arrival.sql]
-            decision = self.router.route(
-                arrival.sql, now, service_by_node, self.nodes
-            )
-            if decision.node is None:
-                shed.append(ShedQuery(arrival.sql, now))
-                continue
-            node = decision.node
-            if node.queue is not None:
-                batch = node.queue.submit(arrival.sql, now)
-                if batch is not None:
-                    self._schedule_batch(
-                        node, batch, table, durations, workload_class,
-                    )
-            else:
-                node.assign(
-                    arrival.sql, decision.dispatch_s,
-                    service_by_node[node.spec.name],
-                    ((arrival.sql, now),),
-                )
+        qed: QedReport | None = None
         end_of_arrivals = arrivals[-1].time_s
-        for node in queued:  # trailing partial batches drain
-            if len(node.queue) == 0:
-                continue
-            # A timeout policy would fire on its own at the oldest
-            # query's expiry (possibly after the last arrival); a
-            # threshold-only queue is drained at end of arrivals.
-            flush_at = self._queue_expiry(node)
-            if flush_at is None or flush_at < end_of_arrivals:
-                flush_at = end_of_arrivals
-            batch = node.queue.flush(flush_at)
-            if batch is not None:
-                self._schedule_batch(
-                    node, batch, table, durations, workload_class,
+        if self.master_queue is not None:
+            qed = QedReport(mode="master")
+            self._run_master_loop(
+                arrivals, end_of_arrivals, table, durations,
+                service_views, workload_class, shed, qed,
+            )
+        else:
+            queued = [n for n in self.nodes if n.queue is not None]
+            if queued:
+                qed = QedReport(mode="node")
+            for arrival in arrivals:
+                now = arrival.time_s
+                for node in queued:  # timeout-based QED dispatches
+                    batch = self._expire_queue(node, now)
+                    if batch is not None:
+                        self._dispatch_node_batch(
+                            node, batch, table, durations,
+                            workload_class, qed,
+                        )
+                service_by_node = service_views[arrival.sql]
+                decision = self.router.route(
+                    arrival.sql, now, service_by_node, self.nodes
                 )
+                if decision.node is None:
+                    shed.append(ShedQuery(arrival.sql, now))
+                    continue
+                node = decision.node
+                if node.queue is not None:
+                    batch = node.queue.submit(arrival.sql, now)
+                    if batch is not None:
+                        self._dispatch_node_batch(
+                            node, batch, table, durations,
+                            workload_class, qed,
+                        )
+                else:
+                    node.assign(
+                        arrival.sql, decision.dispatch_s,
+                        service_by_node[node.spec.name],
+                        ((arrival.sql, now),),
+                    )
+            for node in queued:  # trailing partial batches drain
+                batch = node.queue.drain(end_of_arrivals)
+                if batch is not None:
+                    self._dispatch_node_batch(
+                        node, batch, table, durations, workload_class,
+                        qed,
+                    )
 
         horizon = end_of_arrivals
         for node in self.nodes:
@@ -343,18 +385,8 @@ class ClusterSimulator:
             peak_power_w=self._peak_model_power_w(horizon),
             cap_w=getattr(self.router, "cap_w", None),
             workload_class=workload_class,
+            qed=qed,
         )
-
-    @staticmethod
-    def _queue_expiry(node: SimulatedNode) -> float | None:
-        """When the node's queue timeout would fire (None: no timeout)."""
-        policy = node.spec.queue_policy
-        if policy is None or policy.max_wait_s is None:
-            return None
-        oldest = node.queue.oldest_arrival_s
-        if oldest is None:
-            return None
-        return oldest + policy.max_wait_s
 
     def _expire_queue(self, node: SimulatedNode, now_s: float):
         """Dispatch a timed-out batch *at its expiry*, not at ``now``.
@@ -363,39 +395,168 @@ class ClusterSimulator:
         ticking it at the next arrival's timestamp would charge the
         whole inter-arrival gap to the batch's response times.
         """
-        expiry = self._queue_expiry(node)
+        expiry = node.queue.expiry_s
         if expiry is None or expiry > now_s:
             return None
         # flush (not tick): float addition noise in the expiry must not
         # leave the policy un-fired and the batch stranded.
         return node.queue.flush(expiry)
 
-    def _schedule_batch(
+    # -- QED batch serving -------------------------------------------------
+
+    @staticmethod
+    def _qed_stats_for(qed: QedReport | None,
+                       partition: str) -> QedPartitionStats | None:
+        if qed is None:
+            return None
+        stats = qed.get(partition)
+        if stats is None:
+            stats = QedPartitionStats(partition)
+            qed.partitions.append(stats)
+        return stats
+
+    @staticmethod
+    def _record_dispatch(stats: QedPartitionStats | None,
+                         batch: Batch) -> None:
+        if stats is None:
+            return
+        stats.queries += batch.size
+        stats.batches += 1
+        stats.max_batch = max(stats.max_batch, batch.size)
+
+    def _run_master_loop(
+        self,
+        arrivals: list[Arrival],
+        end_of_arrivals: float,
+        table: dict[str, CompiledTrace],
+        durations: dict[CostKey, dict[str, float]],
+        service_views: dict[str, "_ServiceView"],
+        workload_class: str,
+        shed: list[ShedQuery],
+        qed: QedReport,
+    ) -> None:
+        """The master-queue phase: every arrival queues centrally.
+
+        Per-partition timeouts fire between arrivals *at their expiry*
+        (mirroring the per-node path), the arrival itself may trip its
+        partition's threshold, and trailing partials drain once the
+        stream ends.  Dispatched batches go to the queue's
+        batch-placement policy instead of the per-arrival router.
+        """
+        self.master_queue.reset()
+        placement = self.master_queue.placement
+        placement.prepare(self.router, self.nodes)
+        for arrival in arrivals:
+            now = arrival.time_s
+            for dispatched in self.master_queue.expired(now):
+                self._place_dispatched(
+                    dispatched, table, durations, service_views,
+                    workload_class, shed, qed,
+                )
+            for dispatched in self.master_queue.submit(arrival.sql, now):
+                self._place_dispatched(
+                    dispatched, table, durations, service_views,
+                    workload_class, shed, qed,
+                )
+        for dispatched in self.master_queue.drain(end_of_arrivals):
+            self._place_dispatched(
+                dispatched, table, durations, service_views,
+                workload_class, shed, qed,
+            )
+
+    def _place_dispatched(
+        self,
+        dispatched: DispatchedBatch,
+        table: dict[str, CompiledTrace],
+        durations: dict[CostKey, dict[str, float]],
+        service_views: dict[str, "_ServiceView"],
+        workload_class: str,
+        shed: list[ShedQuery],
+        qed: QedReport,
+    ) -> None:
+        """Hand one master-queue batch to the placement policy."""
+        batch = dispatched.batch
+        stats = self._qed_stats_for(qed, dispatched.partition)
+        self._record_dispatch(stats, batch)
+        merged = None
+        if dispatched.mergeable and batch.size > 1:
+            merged = merge_queries(batch.sqls)
+        assignments = self.master_queue.placement.place(
+            batch, merged, batch.dispatch_s,
+            service_views[batch.queries[0].sql], self.nodes,
+        )
+        if not assignments:
+            shed.extend(
+                ShedQuery(q.sql, q.arrival_s) for q in batch.queries
+            )
+            return
+        for node, queries in assignments:
+            shard = (
+                batch if len(queries) == batch.size
+                else Batch(list(queries), batch.dispatch_s)
+            )
+            self._schedule_batch(
+                node, shard, table, durations, workload_class,
+                stats=stats,
+                merged=merged if shard is batch else None,
+            )
+
+    def _dispatch_node_batch(
         self,
         node: SimulatedNode,
         batch: Batch,
         table: dict[str, CompiledTrace],
         durations: dict[CostKey, dict[str, float]],
         workload_class: str,
+        qed: QedReport | None,
     ) -> None:
-        """Serve a dispatched QED batch as one merged execution.
+        """Serve one per-node queue dispatch (stats keyed by node)."""
+        stats = self._qed_stats_for(qed, f"node:{node.spec.name}")
+        self._record_dispatch(stats, batch)
+        self._schedule_batch(
+            node, batch, table, durations, workload_class, stats=stats,
+        )
 
-        The batch becomes a single disjunctive query plus the
-        client-side split work (built by the same
-        :func:`~repro.core.qed.executor.merged_batch_execution` helper
-        the QED experiment uses), and every query in the batch completes
-        when the merged window does.
+    def _assign_singletons(
+        self,
+        node: SimulatedNode,
+        queries: tuple[QueuedQuery, ...] | list[QueuedQuery],
+        dispatch_s: float,
+        table: dict[str, CompiledTrace],
+        durations: dict[CostKey, dict[str, float]],
+        workload_class: str,
+    ) -> None:
+        """Serve queries back-to-back as plain single executions.
+
+        Each query reuses its cached per-query compiled trace -- no
+        re-rendered "merged" SQL, no re-parse, no re-compile -- and its
+        pre-costed duration under the node's current setting (costed on
+        demand for settings the pre-pass could not know about).
         """
-        merged = merge_queries(batch.sqls)
-        key = merged.sql
-        if key not in table:
-            execution, trace = merged_batch_execution(
-                self.runner, merged
+        for query in queries:
+            service = self._duration_for(
+                node, query.sql, table, durations, workload_class
             )
-            table[key] = trace.compiled()
-            execution.release_result()
-        dkey: CostKey = (node.spec.hw, node.setting)
-        per_key = durations.setdefault(dkey, {})
+            node.assign(
+                query.sql, dispatch_s, service,
+                ((query.sql, query.arrival_s),),
+            )
+
+    @staticmethod
+    def _duration_for(
+        node: SimulatedNode,
+        key: str,
+        table: dict[str, CompiledTrace],
+        durations: dict[CostKey, dict[str, float]],
+        workload_class: str,
+    ) -> float:
+        """``key``'s service time under the node's *current* setting.
+
+        Served from the pre-costed table when possible; costed on
+        demand (and memoized) for trace keys or settings the pre-pass
+        could not know about -- merged-batch SQL, retuned nodes.
+        """
+        per_key = durations.setdefault((node.spec.hw, node.setting), {})
         if key not in per_key:
             original = node.sut.setting
             node.sut.apply_setting(node.setting)
@@ -405,10 +566,70 @@ class ClusterSimulator:
                 ).duration_s
             finally:
                 node.sut.apply_setting(original)
+        return per_key[key]
+
+    def _schedule_batch(
+        self,
+        node: SimulatedNode,
+        batch: Batch,
+        table: dict[str, CompiledTrace],
+        durations: dict[CostKey, dict[str, float]],
+        workload_class: str,
+        stats: QedPartitionStats | None = None,
+        merged=None,
+    ) -> None:
+        """Serve a dispatched QED batch as one merged execution.
+
+        The batch becomes a single disjunctive query plus the
+        client-side split work (built by the same
+        :func:`~repro.core.qed.executor.merged_batch_execution` helper
+        the QED experiment uses), and every query in the batch completes
+        when the merged window does.
+
+        Two degradations keep the schedule alive and cheap: a size-1
+        batch bypasses merging entirely (its per-query trace is already
+        in ``table``; re-rendering a "merged" singleton would re-parse
+        and re-compile identical work), and a batch the aggregator
+        rejects (mixed templates routed to one queue) is served as
+        back-to-back singleton executions instead of crashing the whole
+        ``schedule()``.
+        """
+        if batch.size == 1:
+            self._assign_singletons(
+                node, batch.queries, batch.dispatch_s, table,
+                durations, workload_class,
+            )
+            if stats is not None:
+                stats.singleton_windows += 1
+            return
+        if merged is None:
+            try:
+                merged = merge_queries(batch.sqls)
+            except NotMergeableError:
+                self._assign_singletons(
+                    node, batch.queries, batch.dispatch_s, table,
+                    durations, workload_class,
+                )
+                if stats is not None:
+                    stats.fallback_batches += 1
+                    stats.singleton_windows += batch.size
+                return
+        key = merged.sql
+        if key not in table:
+            execution, trace = merged_batch_execution(
+                self.runner, merged
+            )
+            table[key] = trace.compiled()
+            execution.release_result()
+        service = self._duration_for(
+            node, key, table, durations, workload_class
+        )
         node.assign(
-            key, batch.dispatch_s, per_key[key],
+            key, batch.dispatch_s, service,
             tuple((q.sql, q.arrival_s) for q in batch.queries),
         )
+        if stats is not None:
+            stats.merged_windows += 1
 
     def _peak_model_power_w(self, horizon_s: float) -> float:
         """Peak fleet power under the linear per-node envelope.
@@ -502,6 +723,7 @@ class ClusterSimulator:
             shed=list(schedule.shed),
             peak_power_w=schedule.peak_power_w,
             cap_w=schedule.cap_w,
+            qed=schedule.qed,
         )
 
     def run(self, arrivals: list[Arrival],

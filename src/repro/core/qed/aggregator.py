@@ -21,6 +21,12 @@ class NotMergeableError(ValueError):
     """The batch cannot be evaluated as one aggregated query."""
 
 
+#: Hashable mergeable-template identity: two queries with equal keys can
+#: always join one merged batch (same select list, same table, plain
+#: selection shape).  ``None`` marks a query no QED partition can hold.
+PartitionKey = tuple
+
+
 @dataclass(frozen=True)
 class MergedQuery:
     """The aggregated query plus the routing information for splitting."""
@@ -47,6 +53,17 @@ class MergedQuery:
         return self.routing_column is not None
 
 
+def _exposes_column(item: ast.SelectItem, column: str) -> bool:
+    """True when the select item puts ``column`` in the result under
+    its own name (``SELECT *`` exposes everything; an alias hides the
+    original name from the splitter)."""
+    if not isinstance(item.expr, ast.ColumnRef):
+        return False
+    if item.expr.name == "*":
+        return True
+    return item.expr.name == column and item.alias in (None, column)
+
+
 def _equality_parts(pred: ast.Expr) -> tuple[str, object] | None:
     """(column, literal value) when ``pred`` is ``col = literal``."""
     if not isinstance(pred, ast.Comparison) or pred.op != "=":
@@ -63,34 +80,67 @@ def parse_batch(sqls: list[str]) -> list[ast.Select]:
     return [parse(sql) for sql in sqls]
 
 
+def _shape_violation(select: ast.Select) -> str | None:
+    """Why ``select`` can never join a merged batch (None: it can).
+
+    These are exactly the per-query preconditions :func:`merge_queries`
+    enforces; :func:`mergeable_key` derives partition keys from the
+    same checks so a master queue can only group queries the merger
+    will accept.
+    """
+    if (select.group_by or select.having or select.order_by
+            or select.limit is not None or select.distinct):
+        return "only plain select-project queries can be aggregated"
+    if len(select.tables) != 1:
+        return "aggregation needs single-table queries"
+    if select.where is None:
+        return "a query without WHERE matches all rows"
+    return None
+
+
+def mergeable_key(select: ast.Select) -> PartitionKey | None:
+    """The query's mergeable-template identity (None: not mergeable).
+
+    Equal keys guarantee :func:`merge_queries` accepts the batch: the
+    key captures the select list and the table, and only plain
+    single-table selections with a WHERE clause get one.
+    """
+    if _shape_violation(select) is not None:
+        return None
+    return (select.items, select.tables)
+
+
+def partition_key(sql: str) -> PartitionKey | None:
+    """Parse ``sql`` and return its mergeable-template key.
+
+    ``None`` routes the query to a pass-through (singleton) partition:
+    unparseable text, multi-table queries, and any non-plain-selection
+    shape all land there rather than poisoning a merged batch.
+    """
+    from repro.db.errors import DatabaseError
+
+    try:
+        select = parse(sql)
+    except DatabaseError:
+        return None
+    return mergeable_key(select)
+
+
 def merge_queries(sqls: list[str]) -> MergedQuery:
     """Aggregate a batch of selections into one disjunctive query."""
     if not sqls:
         raise NotMergeableError("empty batch")
     selects = parse_batch(sqls)
     template = selects[0]
-    if template.group_by or template.having or template.order_by \
-            or template.limit is not None or template.distinct:
-        raise NotMergeableError(
-            "only plain select-project queries can be aggregated"
-        )
-    if len(template.tables) != 1:
-        raise NotMergeableError("aggregation needs single-table queries")
-    for select in selects[1:]:
+    for select in selects:
+        violation = _shape_violation(select)
+        if violation is not None:
+            raise NotMergeableError(violation)
         if select.items != template.items:
             raise NotMergeableError("select lists differ across the batch")
         if select.tables != template.tables:
             raise NotMergeableError("tables differ across the batch")
-        if (select.group_by or select.having or select.order_by
-                or select.limit is not None or select.distinct):
-            raise NotMergeableError(
-                "only plain select-project queries can be aggregated"
-            )
-    predicates: list[ast.Expr] = []
-    for select in selects:
-        if select.where is None:
-            raise NotMergeableError("a query without WHERE matches all rows")
-        predicates.append(select.where)
+    predicates: list[ast.Expr] = [select.where for select in selects]
 
     # Dedup shared disjuncts (the overlap generalization): keep the first
     # occurrence of each structurally-identical predicate.
@@ -114,10 +164,18 @@ def merge_queries(sqls: list[str]) -> MergedQuery:
     if all(p is not None for p in parts):
         columns = {p[0] for p in parts}  # type: ignore[index]
         values = [p[1] for p in parts]   # type: ignore[index]
-        # Hash routing needs one owner per value; overlapping batches
-        # (duplicate values) fall back to predicate-based splitting.
-        if len(columns) == 1 and len(set(values)) == len(values):
-            routing_column = columns.pop()
+        # Duplicate values stay hash-routable: the splitter hands a row
+        # to *every* query sharing its value (identical queries in a
+        # batch share their result).  Hash routing does require the
+        # routing column in the result *under its own name* -- the
+        # client routes on result rows, so a projected-away or aliased
+        # value forces the predicate-based split.  ``SELECT *`` keeps
+        # every column and stays routable.
+        column = columns.pop() if len(columns) == 1 else None
+        if column is not None and any(
+            _exposes_column(item, column) for item in template.items
+        ):
+            routing_column = column
             routing_values = values
 
     return MergedQuery(

@@ -69,6 +69,19 @@ class QueryQueue:
         pending list (peeked per arrival in the cluster event loop)."""
         return self._pending[0].arrival_s if self._pending else None
 
+    @property
+    def expiry_s(self) -> float | None:
+        """When the policy's timeout fires on its own: the oldest queued
+        query's arrival plus ``max_wait_s`` (None: no timeout configured
+        or nothing queued).  Event loops dispatch *at* this instant so
+        batch response times never absorb an inter-arrival gap."""
+        if self.policy.max_wait_s is None:
+            return None
+        oldest = self.oldest_arrival_s
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_s
+
     def submit(self, sql: str, now_s: float) -> Batch | None:
         """Enqueue a query; returns a batch if the policy fires."""
         self._pending.append(QueuedQuery(sql, now_s, self._next_id))
@@ -84,6 +97,22 @@ class QueryQueue:
         if not self._pending:
             return None
         return self._dispatch(now_s)
+
+    def drain(self, end_s: float) -> Batch | None:
+        """Flush the trailing partial batch once a stream ends.
+
+        A timeout policy would fire on its own at the queue's expiry
+        (possibly after ``end_s``: the stream ending does not stop the
+        clock); a threshold-only queue is drained at ``end_s`` itself.
+        Shared by the per-node and master-queue event loops so the two
+        drain semantics can never diverge.
+        """
+        if not self._pending:
+            return None
+        flush_at = self.expiry_s
+        if flush_at is None or flush_at < end_s:
+            flush_at = end_s
+        return self._dispatch(flush_at)
 
     def _maybe_dispatch(self, now_s: float) -> Batch | None:
         if not self._pending:

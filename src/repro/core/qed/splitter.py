@@ -60,19 +60,29 @@ def _routing_array(result: QueryResult, column: str) -> np.ndarray:
     return col.raw()
 
 
+def _routing_slots(merged: MergedQuery) -> dict[object, list[int]]:
+    """value -> positions of every query routing on it (duplicate
+    queries in a batch share their rows)."""
+    slots: dict[object, list[int]] = {}
+    for i, value in enumerate(merged.routing_values):
+        slots.setdefault(value, []).append(i)
+    return slots
+
+
 def _split_by_hash(merged: MergedQuery, result: QueryResult
                    ) -> SplitOutcome:
     values = _routing_array(result, merged.routing_column)
-    index_of = {v: i for i, v in enumerate(merged.routing_values)}
+    slots_of = _routing_slots(merged)
     buckets: list[list[int]] = [[] for _ in merged.routing_values]
     unmatched = 0
     for row, value in enumerate(values):
         key = value.item() if isinstance(value, np.generic) else value
-        slot = index_of.get(key)
-        if slot is None:
+        slots = slots_of.get(key)
+        if slots is None:
             unmatched += 1
         else:
-            buckets[slot].append(row)
+            for slot in slots:
+                buckets[slot].append(row)
     results = [
         _take(result, np.asarray(bucket, dtype=np.int64))
         for bucket in buckets
@@ -107,7 +117,26 @@ def _split_by_predicates(merged: MergedQuery, result: QueryResult
 
 
 def split_cost_rows(merged: MergedQuery, result: QueryResult) -> int:
-    """Rows' worth of client split work (hash: one op per merged row)."""
+    """Rows' worth of client split work.
+
+    Hash routing costs one lookup per merged row plus one delivery per
+    query a row lands in -- with duplicate routing values a row is
+    copied to every query sharing its value, so duplicates add only
+    their delivery copies, never a per-predicate pass.  The general
+    (predicate) path re-evaluates every query's predicate over every
+    row.
+    """
     if merged.hash_routable:
-        return result.row_count
+        slots_of = _routing_slots(merged)
+        if all(len(slots) == 1 for slots in slots_of.values()):
+            return result.row_count
+        values = _routing_array(result, merged.routing_column)
+        unique, counts = np.unique(values, return_counts=True)
+        extra = 0
+        for value, count in zip(unique, counts):
+            key = value.item() if isinstance(value, np.generic) else value
+            multiplicity = len(slots_of.get(key, ()))
+            if multiplicity > 1:
+                extra += int(count) * (multiplicity - 1)
+        return result.row_count + extra
     return result.row_count * merged.batch_size

@@ -448,6 +448,234 @@ class DiurnalAblation:
         return out
 
 
+# -- QED ablation: master queue vs per-node queues vs no queueing ---------
+
+#: Canonical QED scenario, shared by ``benchmarks/bench_ablation_qed.py``
+#: and ``scripts/perf_report.py`` so both write comparable ``qed``
+#: records.  A Poisson stream mixes two mergeable selection templates
+#: with an occasional non-mergeable (ORDER BY + LIMIT) shape -- the
+#: master queue partitions them, per-node queues hit the mixed-batch
+#: fallback, and the no-QED baseline serves every arrival alone.
+#: Interarrival times and the SLA rescale with the scale factor the
+#: same way the diurnal scenario's rates do, keeping the offered load
+#: (and therefore the three-way comparison) scale-invariant.
+QED_REFERENCE_SF = 0.01
+QED_NODES = 4
+QED_ARRIVALS = 600
+QED_DISTINCT = 20
+QED_MEAN_INTERARRIVAL_S = 0.02
+QED_THRESHOLD = 16
+QED_MAX_WAIT_S = 0.4
+QED_SEED = 11
+QED_SLA_S = 1.5
+#: Equal SLA-miss budget for every mode: 1% of arrivals.
+QED_SLA_BUDGET = 0.01
+#: Every ALT-th arrival uses the second mergeable template, every
+#: ODD-th the pass-through shape.  The mix keeps per-node batches
+#: *mostly* clean (the fallback cost shows without erasing per-node
+#: QED's win over no QED) while the master queue, which partitions,
+#: never falls back at all.
+QED_ALT_EVERY = 17
+QED_ODD_EVERY = 67
+
+
+def qed_alt_query(quantity: int) -> str:
+    """Second mergeable template (different select list)."""
+    return (f"SELECT l_orderkey, l_extendedprice FROM lineitem "
+            f"WHERE l_quantity = {quantity}")
+
+
+def qed_odd_query(quantity: int) -> str:
+    """Non-mergeable shape: pass-through partition / node fallback."""
+    return (f"SELECT l_orderkey FROM lineitem WHERE l_quantity = "
+            f"{quantity} ORDER BY l_orderkey LIMIT 5")
+
+
+def qed_ablation_stream(sf: float | None = None):
+    """The canonical mixed-template arrival stream.
+
+    ``REPRO_BENCH_QED_ARRIVALS`` shrinks it for CI smoke runs; ``sf``
+    rescales interarrival times so the offered load matches the
+    reference calibration at any scale factor.
+    """
+    import os
+
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.selection import selection_workload
+
+    count = int(os.environ.get("REPRO_BENCH_QED_ARRIVALS",
+                               str(QED_ARRIVALS)))
+    scale = sf / QED_REFERENCE_SF if sf else 1.0
+    base = selection_workload(QED_DISTINCT).queries
+    queries = []
+    for i in range(count):
+        if i % QED_ODD_EVERY == QED_ODD_EVERY - 1:
+            queries.append(qed_odd_query(
+                QED_DISTINCT + 1 + i % 3
+            ))
+        elif i % QED_ALT_EVERY == QED_ALT_EVERY - 1:
+            queries.append(qed_alt_query(
+                QED_DISTINCT + 1 + i % 5
+            ))
+        else:
+            queries.append(base[i % QED_DISTINCT])
+    return poisson_arrivals(
+        queries, QED_MEAN_INTERARRIVAL_S * scale, seed=QED_SEED
+    )
+
+
+@dataclass
+class QedAblation:
+    """Master-queue QED vs per-node QED vs no QED on one stream.
+
+    The acceptance ordering is the paper's deployment claim: fleet-wide
+    batching on the always-on master merges more queries per execution
+    than per-node queues fed by a load balancer, which in turn beat
+    serving every arrival alone -- all while holding the same SLA-miss
+    budget.
+    """
+
+    arrivals: int
+    nodes: int
+    scale_factor: float | None
+    sla_s: float
+    sla_budget: float
+    threshold: int
+    max_wait_s: float
+    modes: dict
+
+    @property
+    def _budget(self) -> float:
+        return self.sla_budget * self.arrivals
+
+    def _within_budget(self, name: str) -> bool:
+        return self.modes[name]["sla_misses"] <= self._budget
+
+    @property
+    def master_beats_node(self) -> bool:
+        return (
+            self.modes["master"]["wall_joules"]
+            < self.modes["node"]["wall_joules"]
+            and self._within_budget("master")
+            and self._within_budget("node")
+        )
+
+    @property
+    def node_beats_off(self) -> bool:
+        return (
+            self.modes["node"]["wall_joules"]
+            < self.modes["off"]["wall_joules"]
+            and self._within_budget("node")
+            and self._within_budget("off")
+        )
+
+    @property
+    def master_vs_node_saving(self) -> float:
+        return 1.0 - (
+            self.modes["master"]["wall_joules"]
+            / self.modes["node"]["wall_joules"]
+        )
+
+    @property
+    def node_vs_off_saving(self) -> float:
+        return 1.0 - (
+            self.modes["node"]["wall_joules"]
+            / self.modes["off"]["wall_joules"]
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["master_beats_node"] = self.master_beats_node
+        out["node_beats_off"] = self.node_beats_off
+        out["master_vs_node_saving"] = self.master_vs_node_saving
+        out["node_vs_off_saving"] = self.node_vs_off_saving
+        return out
+
+
+def run_qed_ablation(
+    db: Database,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> QedAblation:
+    """Run the canonical mixed-template stream under all three modes."""
+    from repro.cluster import (
+        ClusterSimulator,
+        LeastLoadedRouter,
+        MasterQueue,
+        RoundRobinRouter,
+        uniform_fleet,
+    )
+    from repro.core.qed.policy import BatchPolicy
+
+    stream = qed_ablation_stream(scale_factor)
+    sla_s = QED_SLA_S * (
+        scale_factor / QED_REFERENCE_SF if scale_factor else 1.0
+    )
+    max_wait = QED_MAX_WAIT_S * (
+        scale_factor / QED_REFERENCE_SF if scale_factor else 1.0
+    )
+    policy = BatchPolicy(QED_THRESHOLD, max_wait_s=max_wait)
+
+    def scenario(name: str):
+        # The off/node baselines route round-robin -- the canonical
+        # load balancer for queued workers, and *favorable* to node
+        # mode: per-node queues hide backlog from completion-time
+        # routing, so a least-loaded router funnels every arrival into
+        # one node's queue (measured: big but almost-always-mixed
+        # batches, worse than no QED at all).  Master mode's router is
+        # idle (the placement policy picks nodes), so the gated gap
+        # measures where the queue lives, not the router choice.
+        if name == "off":
+            return uniform_fleet(QED_NODES), RoundRobinRouter(), None
+        if name == "node":
+            return (
+                uniform_fleet(QED_NODES, queue_policy=policy),
+                RoundRobinRouter(), None,
+            )
+        return (
+            uniform_fleet(QED_NODES), LeastLoadedRouter(),
+            MasterQueue(policy),
+        )
+
+    modes: dict[str, dict] = {}
+    for name in ("off", "node", "master"):
+        specs, router, master_queue = scenario(name)
+        sim = ClusterSimulator(db, specs, router,
+                               trace_cache=trace_cache,
+                               master_queue=master_queue)
+        m = sim.run(stream)
+        stats = {
+            "wall_joules": m.wall_joules,
+            "edp": m.edp,
+            "horizon_s": m.horizon_s,
+            "served": m.served,
+            "shed": len(m.shed),
+            "sla_misses": m.sla_violations(sla_s),
+            "p95_response_s": m.p95_response_s,
+            "busy_s": sum(n.busy_s for n in m.nodes),
+        }
+        if m.qed is not None:
+            stats.update({
+                "qed_batches": m.qed.batches,
+                "qed_mean_batch_size": m.qed.mean_batch_size,
+                "qed_merged_windows": m.qed.merged_windows,
+                "qed_singleton_windows": m.qed.singleton_windows,
+                "qed_fallback_batches": m.qed.fallback_batches,
+            })
+        modes[name] = stats
+
+    return QedAblation(
+        arrivals=len(stream),
+        nodes=QED_NODES,
+        scale_factor=scale_factor,
+        sla_s=sla_s,
+        sla_budget=QED_SLA_BUDGET,
+        threshold=QED_THRESHOLD,
+        max_wait_s=max_wait,
+        modes=modes,
+    )
+
+
 def run_diurnal_ablation(
     db: Database,
     scale_factor: float | None = None,

@@ -175,6 +175,48 @@ class TestQedNodes:
             )
             assert r.response_s < 1.0  # nowhere near the 5 s gap
 
+    def test_mixed_template_batch_serves_as_singletons(self, mysql_db):
+        """Regression: a QED-queued node receiving mixed templates used
+        to raise NotMergeableError out of schedule(); the batch must
+        degrade to back-to-back singleton executions instead."""
+        queries = selection_workload(4).queries + [
+            f"SELECT l_orderkey, l_extendedprice FROM lineitem "
+            f"WHERE l_quantity = {q}" for q in (11, 12)
+        ]
+        stream = poisson_arrivals(
+            [queries[i % len(queries)] for i in range(30)], 0.02, seed=4
+        )
+        sim = ClusterSimulator(
+            mysql_db,
+            uniform_fleet(1, queue_policy=BatchPolicy(threshold=6)),
+            RoundRobinRouter(),
+        )
+        m = sim.run(stream)  # must not raise
+        assert m.served == 30
+        assert m.qed is not None and m.qed.mode == "node"
+        assert m.qed.fallback_batches > 0
+        answered = sorted((r.sql, r.arrival_s) for r in m.responses)
+        assert answered == sorted((a.sql, a.time_s) for a in stream)
+
+    def test_singleton_batches_reuse_cached_traces(self, mysql_db):
+        """Regression: a size-1 QED batch used to re-render "merged"
+        SQL and execute it afresh; it must replay the per-query trace
+        already in the schedule table."""
+        stream = _stream(count=12, distinct=6, mean_s=5.0)
+        sim = ClusterSimulator(
+            mysql_db,
+            uniform_fleet(
+                1, queue_policy=BatchPolicy(threshold=50, max_wait_s=0.1)
+            ),
+            RoundRobinRouter(),
+        )
+        before = mysql_db.executions
+        schedule = sim.schedule(stream)  # every batch times out alone
+        assert mysql_db.executions - before == 6
+        assert set(schedule.table) == {a.sql for a in stream}
+        assert schedule.qed.singleton_windows == 12
+        assert schedule.qed.merged_windows == 0
+
     def test_qed_node_conservation(self, mysql_db):
         policy = BatchPolicy(threshold=5)
         sim = ClusterSimulator(

@@ -64,6 +64,35 @@ class TestMergeValidation:
         ])
         assert not merged.hash_routable
 
+    def test_duplicate_values_stay_hash_routable(self):
+        """Identical queries share their rows; the splitter delivers a
+        row to every query routing on its value."""
+        merged = merge_queries([
+            selection_query(1), selection_query(2), selection_query(1),
+        ])
+        assert merged.hash_routable
+        assert list(merged.routing_values) == [1, 2, 1]
+
+    def test_projected_away_routing_column_not_routable(self):
+        """The client routes on result rows: a routing value missing
+        from (or aliased in) the select list forces the predicate
+        split; SELECT * keeps every column and stays routable."""
+        hidden = merge_queries([
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE b = 2",
+        ])
+        assert not hidden.hash_routable
+        aliased = merge_queries([
+            "SELECT b AS x FROM t WHERE b = 1",
+            "SELECT b AS x FROM t WHERE b = 2",
+        ])
+        assert not aliased.hash_routable
+        star = merge_queries([
+            "SELECT * FROM t WHERE b = 1",
+            "SELECT * FROM t WHERE b = 2",
+        ])
+        assert star.hash_routable
+
 
 class TestMergedSemantics:
     def test_merged_equals_union(self, mysql_db):

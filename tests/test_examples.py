@@ -16,6 +16,7 @@ SCRIPTS = [
     "energy_aware_optimizer.py",
     "cluster_energy_policies.py",
     "diurnal_consolidation.py",
+    "master_qed.py",
 ]
 
 
