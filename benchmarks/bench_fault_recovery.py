@@ -1,0 +1,78 @@
+"""Ablation: fault injection & recovery at cluster scale (ISSUE 6).
+
+The consolidation energy claims assume every node wakes on command and
+finishes every batch.  This bench runs the canonical fault plan --
+a straggler window on the hot node, a crash that kills it mid-batch,
+an always-fail wake window on the obvious replacement, and a transient
+unavailability window -- over the same Poisson stream in two fleet
+modes: always-awake spread (round-robin) and dynamic consolidation
+with the recovery layer (retry policy, replacement re-wake).  The
+result is appended to ``BENCH_perf.json`` under ``faults``.
+
+Gates (PR acceptance criteria):
+
+* the plan is genuinely active: >= 1 crash that takes in-flight work
+  (requeues prove it struck mid-batch), >= 1 failed wake, and the
+  straggler window is part of the canonical plan;
+* consolidate-with-recovery still beats always-awake spread on cluster
+  energy at the equal SLA-miss budget (1% of arrivals);
+* no query is silently lost: every arrival is served exactly once or
+  visibly dead-lettered, in both modes.
+
+Smoke configuration: ``REPRO_BENCH_FAULT_ARRIVALS`` shrinks the stream
+for CI; ``REPRO_TRACE_CACHE`` persists compiled traces across
+benchmark processes.
+"""
+
+from repro.measurement.perf import run_fault_ablation
+from repro.measurement.report import ComparisonTable
+
+
+def test_fault_recovery_ablation(
+    benchmark, lineitem_runner, bench_sf, bench_trace_cache,
+    bench_artifact,
+):
+    ablation = benchmark.pedantic(
+        run_fault_ablation,
+        args=(lineitem_runner.db,),
+        kwargs=dict(scale_factor=bench_sf,
+                    trace_cache=bench_trace_cache),
+        rounds=1, iterations=1,
+    )
+
+    table = ComparisonTable(
+        f"fault recovery: {ablation.arrivals} arrivals over "
+        f"{ablation.nodes} nodes (retry x{ablation.retry_max}, "
+        f"backoff {ablation.retry_backoff_s:g} s)"
+    )
+    for name, stats in ablation.modes.items():
+        f = stats["faults"]
+        table.add(f"{name}: energy (J)", None, stats["wall_joules"],
+                  unit="J")
+        table.add(f"{name}: SLA misses", None,
+                  float(stats["sla_misses"]))
+        table.add(f"{name}: retries", None, float(f["retries"]))
+        table.add(f"{name}: dead-lettered", None,
+                  float(f["dead_lettered"]))
+        table.add(f"{name}: wasted (J)", None, f["wasted_joules"],
+                  unit="J")
+    table.add("consolidate vs spread saving", None,
+              ablation.consolidate_vs_spread_saving)
+    table.print()
+
+    bench_artifact({"faults": ablation.to_dict()})
+
+    # The faults genuinely bit: a mid-batch crash (in-flight work came
+    # back for requeueing) and at least one failed wake.
+    assert ablation.faults_active
+    for name, stats in ablation.modes.items():
+        assert stats["faults"]["crashes"] >= 1, name
+    # Conservation: nothing silently lost in either mode.
+    assert ablation.conserved
+    for name, stats in ablation.modes.items():
+        assert stats["served"] + stats["shed"] == ablation.arrivals, name
+        assert stats["shed"] == stats["faults"]["dead_lettered"], name
+    # The acceptance gate: consolidation + recovery still wins on
+    # energy at the equal SLA-miss budget while faults are active.
+    assert ablation.consolidate_beats_spread
+    assert ablation.consolidate_vs_spread_saving > 0.0

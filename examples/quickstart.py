@@ -55,6 +55,11 @@ def main() -> None:
     print("  python -m repro cluster --profile diurnal --policy dynamic "
           "--fleet examples/hetero_fleet.json")
     print("  python examples/diurnal_consolidation.py")
+    print("or inject node crashes, failed wakes, and stragglers and "
+          "watch the\nrecovery layer absorb them --")
+    print("  python -m repro cluster --policy dynamic --sla 1.0 "
+          "--faults examples/fault_plan.json --retry-max 4")
+    print("  python examples/faulty_fleet.py")
 
 
 if __name__ == "__main__":

@@ -38,15 +38,17 @@ DEFAULT_KEYS = (
     "diurnal.hetero_speedup",
     "qed.master_vs_node_saving",
     "qed.node_vs_off_saving",
+    "faults.consolidate_vs_spread_saving",
 )
 #: Absolute floor every gated speedup must clear regardless of config.
 SPEEDUP_FLOOR = 5.0
 #: Keys that are not speedups get their own absolute floor (the QED
-#: ablation gates energy *savings* -- fractions that must stay
-#: positive, not 5x multipliers).
+#: and fault ablations gate energy *savings* -- fractions that must
+#: stay positive, not 5x multipliers).
 FLOORS = {
     "qed.master_vs_node_saving": 0.0,
     "qed.node_vs_off_saving": 0.0,
+    "faults.consolidate_vs_spread_saving": 0.0,
 }
 
 
@@ -85,6 +87,9 @@ CONFIG_FIELDS = {
     "qed.node_vs_off_saving": (
         "qed.arrivals", "qed.nodes", "qed.threshold",
         "qed.scale_factor",
+    ),
+    "faults.consolidate_vs_spread_saving": (
+        "faults.arrivals", "faults.nodes", "faults.scale_factor",
     ),
 }
 

@@ -66,11 +66,16 @@ run_cluster() {
     REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
     REPRO_BENCH_QED_ARRIVALS="${REPRO_BENCH_QED_ARRIVALS:-300}" \
         python -m pytest benchmarks/bench_ablation_qed.py -x -q
+    echo "== fault recovery smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_FAULT_ARRIVALS="${REPRO_BENCH_FAULT_ARRIVALS:-200}" \
+        python -m pytest benchmarks/bench_fault_recovery.py -x -q
     echo "== perf trend gate (cluster) =="
     python scripts/check_bench_trend.py \
         --fresh "$SMOKE_JSON" \
         --keys cluster_scaling.speedup diurnal.hetero_speedup \
-               qed.master_vs_node_saving qed.node_vs_off_saving
+               qed.master_vs_node_saving qed.node_vs_off_saving \
+               faults.consolidate_vs_spread_saving
 }
 
 case "$STAGE" in

@@ -20,7 +20,12 @@ Runs four comparisons and records them in one artifact:
   including the heterogeneous batched-vs-loop playback comparison;
 * the QED ablation (master queue vs per-node queues vs no queueing on
   the mixed-template stream), appended under ``qed``, gating
-  master <= node <= off on cluster energy at the shared SLA budget.
+  master <= node <= off on cluster energy at the shared SLA budget;
+* the fault-recovery ablation (the canonical fault plan -- mid-batch
+  crash, failed wakes, straggler window, transient unavailability --
+  under spread vs consolidate-with-recovery), appended under
+  ``faults``, gating that consolidation's energy win survives active
+  faults at the equal SLA-miss budget with no query silently lost.
 
 Every artifact refresh also appends a ``history`` entry (timestamp +
 gated speedups), so the perf trajectory stays machine-readable --
@@ -62,6 +67,9 @@ CHECK_GATES = [
     ("diurnal.dynamic_beats_spread", "true", None),
     ("qed.master_beats_node", "true", None),
     ("qed.node_beats_off", "true", None),
+    ("faults.consolidate_beats_spread", "true", None),
+    ("faults.conserved", "true", None),
+    ("faults.faults_active", "true", None),
 ]
 
 
@@ -118,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         compare_cluster_playback,
         compare_sweep_paths,
         run_diurnal_ablation,
+        run_fault_ablation,
         run_qed_ablation,
     )
     from repro.workloads.runner import TraceCache
@@ -208,6 +217,24 @@ def main(argv: list[str] | None = None) -> int:
     print(f"node beats off        : {qed.node_beats_off} "
           f"(saving {qed.node_vs_off_saving:.1%})")
 
+    faults = run_fault_ablation(db, scale_factor=args.sf,
+                                trace_cache=trace_cache)
+    print(f"\nfault ablation        : {faults.arrivals} arrivals over "
+          f"{faults.nodes} nodes (retry x{faults.retry_max}, "
+          f"SLA {faults.sla_s:g} s, budget {faults.sla_budget:.0%})")
+    for name, stats in faults.modes.items():
+        f = stats["faults"]
+        print(f"  {name:12s} {stats['wall_joules']:9.1f} J  "
+              f"SLA misses {stats['sla_misses']:3d}  "
+              f"retries {f['retries']:3d}  "
+              f"dead-lettered {f['dead_lettered']:2d}  "
+              f"wasted {f['wasted_joules']:6.2f} J")
+    print(f"consolidate beats spread under faults: "
+          f"{faults.consolidate_beats_spread} "
+          f"(saving {faults.consolidate_vs_spread_saving:.1%})")
+    print(f"conserved / faults active            : "
+          f"{faults.conserved} / {faults.faults_active}")
+
     record = (
         json.loads(args.out.read_text()) if args.out.exists() else {}
     )
@@ -215,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
     record["cluster_scaling"] = cluster.to_dict()
     record["diurnal"] = diurnal.to_dict()
     record["qed"] = qed.to_dict()
+    record["faults"] = faults.to_dict()
     args.out.write_text(json.dumps(record, indent=2))
     append_history(args.out, record)
     print(f"wrote {args.out}")
@@ -229,6 +257,9 @@ def main(argv: list[str] | None = None) -> int:
         and diurnal.dynamic_beats_spread
         and qed.master_beats_node
         and qed.node_beats_off
+        and faults.consolidate_beats_spread
+        and faults.conserved
+        and faults.faults_active
     )
     return 0 if ok else 1
 

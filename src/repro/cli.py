@@ -10,6 +10,8 @@
         --fleet examples/hetero_fleet.json --window 30
     python -m repro cluster --qed master --qed-threshold 20 \
         --qed-max-wait 0.3 --qed-placement hash
+    python -m repro cluster --policy dynamic --sla 1.0 \
+        --faults examples/fault_plan.json --retry-max 4
     python -m repro experiments --sf 0.02      # everything, compact
 
 Each reproduction command prints a paper-vs-measured table (see
@@ -256,6 +258,12 @@ def cmd_cluster(args) -> int:
               "(its groups carry no queue policy); use --qed master",
               file=sys.stderr)
         return 2
+    if args.faults is None and (
+        args.retry_max is not None or args.retry_backoff is not None
+    ):
+        print("error: --retry-max/--retry-backoff tune the fault "
+              "recovery policy and need --faults", file=sys.stderr)
+        return 2
     # Validate every flag-derived object *before* the expensive
     # database build so bad flags fail fast with a clean message.
     try:
@@ -308,6 +316,21 @@ def cmd_cluster(args) -> int:
                 "the load profile produced no arrivals "
                 "(check --arrivals / the rate flags)"
             )
+        fault_plan = None
+        retry = None
+        if args.faults is not None:
+            from repro.cluster import RetryPolicy, load_fault_plan
+
+            fault_plan = load_fault_plan(args.faults)
+            retry = RetryPolicy(
+                max_attempts=(
+                    args.retry_max if args.retry_max is not None else 3
+                ),
+                backoff_s=(
+                    args.retry_backoff
+                    if args.retry_backoff is not None else 1.0
+                ),
+            )
     except (ValueError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -321,7 +344,8 @@ def cmd_cluster(args) -> int:
         if args.trace_cache else None
     )
     sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache,
-                           master_queue=master_queue)
+                           master_queue=master_queue, faults=fault_plan,
+                           retry=retry)
     try:
         m = sim.run(stream, mode=args.playback)
     except ValueError as exc:
@@ -364,6 +388,23 @@ def cmd_cluster(args) -> int:
     if args.sla is not None:
         print(f"  SLA {args.sla:.3f}s misses: "
               f"{m.sla_violations(args.sla)}")
+    if m.faults is not None:
+        f = m.faults
+        print(f"  faults         : {f.crashes} crashes, "
+              f"{f.failed_wakes} failed wakes, {f.retries} retries "
+              f"({f.requeued} requeued from crashes), "
+              f"{f.dead_lettered} dead-lettered")
+        print(f"  wasted work    : {f.wasted_busy_s:10.2f} s busy, "
+              f"{f.wasted_joules:.1f} J written off")
+        if args.sla is not None:
+            split = m.sla_split(args.sla)
+            print(f"  SLA split      : affected "
+                  f"{split['affected_met']:.0f}/"
+                  f"{split['affected_total']:.0f} "
+                  f"({split['affected_attainment']:.1%}), unaffected "
+                  f"{split['unaffected_met']:.0f}/"
+                  f"{split['unaffected_total']:.0f} "
+                  f"({split['unaffected_attainment']:.1%})")
     if args.window is not None:
         print(f"\n  phase report ({args.window:g} s windows):")
         print(f"  {'window':>14} {'arrivals':>8} {'modeled J':>10} "
@@ -504,6 +545,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(implies --qed node)")
     p.add_argument("--sla", type=float, default=None,
                    help="report response-time SLA misses (s)")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault-injection plan: seeded crashes, wake "
+                        "failures, stragglers, unavailability windows")
+    p.add_argument("--retry-max", type=int, default=None,
+                   help="faults: retry attempts before a lost query is "
+                        "dead-lettered (default 3)")
+    p.add_argument("--retry-backoff", type=float, default=None,
+                   help="faults: base retry backoff in seconds, "
+                        "doubling per attempt (default 1.0)")
     p.add_argument("--playback", choices=("batched", "loop"),
                    default="batched")
     p.add_argument("--trace-cache", default=None, metavar="DIR",

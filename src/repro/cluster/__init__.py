@@ -19,6 +19,12 @@ every node's whole timeline plays as one stacked array operation per
 distinct (hardware profile, setting) pair.
 """
 
+from repro.cluster.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    load_fault_plan,
+)
 from repro.cluster.master_queue import (
     DispatchedBatch,
     MasterQueue,
@@ -26,6 +32,7 @@ from repro.cluster.master_queue import (
 )
 from repro.cluster.measure import (
     ClusterMeasurement,
+    FaultReport,
     NodeUsage,
     PhaseWindow,
     QedPartitionStats,
@@ -69,6 +76,9 @@ __all__ = [
     "Decision",
     "DispatchedBatch",
     "DynamicConsolidateRouter",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
     "HashSplitPlacement",
     "LeastLoadedPlacement",
     "LeastLoadedRouter",
@@ -82,12 +92,14 @@ __all__ = [
     "QedPartitionStats",
     "QedReport",
     "QueryResponse",
+    "RetryPolicy",
     "RoundRobinRouter",
     "Router",
     "SUT_FACTORIES",
     "ShedQuery",
     "SimulatedNode",
     "hetero_fleet",
+    "load_fault_plan",
     "play_batched",
     "play_loop",
     "playback_groups",

@@ -23,6 +23,11 @@ node, consolidate-aware placement that keeps a
 :class:`~repro.cluster.routing.DynamicConsolidateRouter` sizing the
 awake set, or hash-splitting one merged batch across nodes via
 :attr:`~repro.core.qed.aggregator.MergedQuery.routing_column`).
+
+Under an active :class:`~repro.cluster.faults.FaultPlan`, placement
+policies skip crashed/unresponsive nodes and survive failed wakes; a
+dispatch no node can take is not shed but requeued through the
+simulator's :class:`~repro.cluster.faults.RetryPolicy`.
 """
 
 from __future__ import annotations

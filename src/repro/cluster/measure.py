@@ -44,7 +44,8 @@ class QueryResponse:
 
 @dataclass(frozen=True)
 class ShedQuery:
-    """A query the power-cap policy refused to serve."""
+    """A query the cluster refused to serve: a power-cap rejection, or
+    a dead-lettered query whose retries were exhausted."""
 
     sql: str
     arrival_s: float
@@ -60,7 +61,10 @@ class ScheduledWork:
     pairs answered when the window completes.  ``setting`` is the PVC
     operating point the node held when the window was placed (None:
     the node's spec setting) -- playback must cost the window under the
-    same setting its service time was computed for.
+    same setting its service time was computed for.  ``stretch_s`` is
+    straggler-fault inflation beyond the costed trace duration: the
+    window occupies it, but playback bills it as degraded (idle-watt)
+    occupancy after the trace piece.
     """
 
     trace_key: str
@@ -68,6 +72,7 @@ class ScheduledWork:
     end_s: float
     queries: tuple[tuple[str, float], ...]
     setting: object | None = None
+    stretch_s: float = 0.0
 
     @property
     def service_s(self) -> float:
@@ -163,6 +168,45 @@ class QedReport:
                 }
                 for p in self.partitions
             },
+        }
+
+
+@dataclass
+class FaultReport:
+    """What the fault plan did to one run, and what recovery cost.
+
+    ``crashes``/``failed_wakes`` count injected events that actually
+    fired; ``requeued`` counts queries pulled out of lost in-flight
+    work or crashed per-node queues; ``retries`` counts re-dispatch
+    attempts the retry policy scheduled; ``dead_lettered`` counts
+    queries shed after exhausting their attempts (they appear in the
+    measurement's ``shed`` list, so SLA accounting already treats them
+    as misses).  ``wasted_busy_s``/``wasted_joules`` charge the partial
+    work burnt before a mid-batch crash (busy-watt energy the fleet
+    spent on answers it never delivered).  ``affected`` identifies the
+    ``(sql, arrival_s)`` pairs that were retried or dead-lettered, so
+    SLA attainment can be split by fault exposure.
+    """
+
+    crashes: int = 0
+    failed_wakes: int = 0
+    requeued: int = 0
+    retries: int = 0
+    dead_lettered: int = 0
+    wasted_busy_s: float = 0.0
+    wasted_joules: float = 0.0
+    affected: set = field(default_factory=set)
+
+    def to_dict(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "failed_wakes": self.failed_wakes,
+            "requeued": self.requeued,
+            "retries": self.retries,
+            "dead_lettered": self.dead_lettered,
+            "wasted_busy_s": self.wasted_busy_s,
+            "wasted_joules": self.wasted_joules,
+            "affected_queries": len(self.affected),
         }
 
 
@@ -263,6 +307,7 @@ class ClusterMeasurement:
     peak_power_w: float = 0.0
     cap_w: float | None = None
     qed: QedReport | None = None
+    faults: FaultReport | None = None
 
     # -- energy -----------------------------------------------------------
 
@@ -335,6 +380,39 @@ class ClusterMeasurement:
             raise ValueError("sla_s must be non-negative")
         late = sum(1 for r in self.responses if r.response_s > sla_s)
         return late + len(self.shed)
+
+    def sla_split(self, sla_s: float) -> dict[str, float]:
+        """SLA attainment split by fault exposure.
+
+        A query is *affected* when the fault report marks its
+        ``(sql, arrival_s)`` identity (retried or dead-lettered);
+        everything else -- including every query of a fault-free run --
+        is unaffected.  Shed queries count against their side's
+        attainment the same way :meth:`sla_violations` counts them.
+        """
+        if sla_s < 0:
+            raise ValueError("sla_s must be non-negative")
+        affected = self.faults.affected if self.faults else set()
+        totals = {True: 0, False: 0}
+        met = {True: 0, False: 0}
+        for r in self.responses:
+            side = (r.sql, r.arrival_s) in affected
+            totals[side] += 1
+            met[side] += r.response_s <= sla_s
+        for q in self.shed:
+            totals[(q.sql, q.arrival_s) in affected] += 1
+        return {
+            "affected_total": float(totals[True]),
+            "affected_met": float(met[True]),
+            "affected_attainment": (
+                met[True] / totals[True] if totals[True] else 1.0
+            ),
+            "unaffected_total": float(totals[False]),
+            "unaffected_met": float(met[False]),
+            "unaffected_attainment": (
+                met[False] / totals[False] if totals[False] else 1.0
+            ),
+        }
 
     # -- power cap --------------------------------------------------------
 
@@ -471,5 +549,14 @@ class ClusterMeasurement:
                     self.qed.singleton_windows
                 ),
                 "qed_fallback_batches": float(self.qed.fallback_batches),
+            })
+        if self.faults is not None:
+            out.update({
+                "fault_crashes": float(self.faults.crashes),
+                "fault_failed_wakes": float(self.faults.failed_wakes),
+                "fault_requeued": float(self.faults.requeued),
+                "fault_retries": float(self.faults.retries),
+                "fault_dead_lettered": float(self.faults.dead_lettered),
+                "fault_wasted_joules": self.faults.wasted_joules,
             })
         return out

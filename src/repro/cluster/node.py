@@ -168,17 +168,20 @@ class TimelineAccounting:
         return sum(ready - called for called, ready in self.wake_log)
 
     def sleep_s(self, horizon_s: float) -> float:
-        return sum(
-            (horizon_s if end is None else end) - start
-            for start, end in self.sleep_log
-        )
+        return sum(end - start for start, end in self.sleep_spans(horizon_s))
 
     def sleep_spans(self, horizon_s: float) -> list[tuple[float, float]]:
-        """Closed sleep spans over ``[0, horizon_s]``."""
-        return [
-            (start, horizon_s if end is None else end)
-            for start, end in self.sleep_log
-        ]
+        """Closed sleep spans clamped to ``[0, horizon_s]`` (a
+        crash-forced sleep may be logged at or past the horizon when
+        trailing retries are dead-lettered; it then bills nothing)."""
+        spans = []
+        for start, end in self.sleep_log:
+            if start >= horizon_s - 1e-12:
+                continue
+            end = horizon_s if end is None else min(end, horizon_s)
+            if end > start:
+                spans.append((start, end))
+        return spans
 
     @property
     def re_sleeps(self) -> int:
@@ -230,6 +233,10 @@ class SimulatedNode(TimelineAccounting):
     def __init__(self, spec: NodeSpec, sut: SystemUnderTest):
         self.spec = spec
         self.sut = sut
+        #: Active (non-empty) fault plan, installed by the simulator
+        #: before the router's ``prepare``; survives ``reset`` so the
+        #: router's node resets cannot drop it.  None: no faults.
+        self.faults = None
         self.reset(awake=True)
 
     # -- life cycle -------------------------------------------------------
@@ -251,15 +258,43 @@ class SimulatedNode(TimelineAccounting):
             QueryQueue(self.spec.queue_policy)
             if self.spec.queue_policy is not None else None
         )
+        #: Fault state: when the node crashed (None = alive), every
+        #: crash that fired, and every wake call a fault failed.
+        self.crashed_s: float | None = None
+        self.crash_log: list[float] = []
+        self.failed_wakes: list[float] = []
 
     @property
     def ready_s(self) -> float:
         """Earliest time newly routed work could start (if awake)."""
         return max(self.busy_until, self.wake_ready_s)
 
+    def can_serve(self, now_s: float) -> bool:
+        """Routable at ``now_s``: neither crashed nor transiently
+        unavailable.  (Being asleep is a separate, wakeable state.)"""
+        if self.crashed_s is not None:
+            return False
+        if self.faults is not None and not self.faults.available(
+            self.spec.name, now_s
+        ):
+            return False
+        return True
+
     def wake(self, now_s: float) -> float:
-        """Begin the wake transition (idempotent); returns ready time."""
+        """Begin the wake transition (idempotent); returns ready time.
+
+        Under a fault plan the attempt may *fail*: the node stays
+        asleep (callers detect this via ``awake``) and the failure is
+        logged.  Crashed nodes never wake until they recover.
+        """
+        if self.crashed_s is not None:
+            return self.wake_ready_s
         if not self.awake:
+            if self.faults is not None and not self.faults.wake_attempt(
+                self.spec.name, now_s
+            ):
+                self.failed_wakes.append(now_s)
+                return self.wake_ready_s
             start, _ = self.sleep_log[-1]
             if now_s < start:
                 raise ValueError("cannot wake a node before it slept")
@@ -299,6 +334,57 @@ class SimulatedNode(TimelineAccounting):
             )
         self.sleep_log.append((now_s, None))
 
+    def crash(self, at_s: float) -> tuple[list[tuple[str, float]], float]:
+        """Kill the node at ``at_s``; returns ``(lost, wasted_s)``.
+
+        Every busy window still open at the crash is lost: its
+        ``(sql, arrival_s)`` pairs come back for requeueing, and the
+        partial burn of a window the crash interrupted *mid-batch*
+        (started but unfinished) is returned as wasted busy seconds.
+        Per-node queue content is lost (and returned) too.  The node
+        then reads as powered off -- a forced sleep span the timeline
+        bills at ``sleep_wall_w`` -- and stays unroutable until
+        :meth:`recover`.
+        """
+        if self.crashed_s is not None:
+            return [], 0.0
+        lost: list[tuple[str, float]] = []
+        wasted = 0.0
+        kept: list[ScheduledWork] = []
+        for work in self.scheduled:
+            if work.end_s <= at_s + 1e-12:
+                kept.append(work)
+                continue
+            lost.extend(work.queries)
+            if work.start_s < at_s - 1e-12:
+                wasted += at_s - work.start_s
+        self.scheduled = kept
+        self.busy_until = max((w.end_s for w in kept), default=0.0)
+        if self.queue is not None and len(self.queue) > 0:
+            batch = self.queue.flush(at_s)
+            if batch is not None:
+                lost.extend(
+                    (q.sql, q.arrival_s) for q in batch.queries
+                )
+        if self.wake_log and self.wake_log[-1][1] > at_s:
+            # Crashed mid-wake: the transition ends (unfinished) here.
+            called, _ = self.wake_log[-1]
+            self.wake_log[-1] = (called, at_s)
+        if self.awake:
+            self.sleep_log.append((at_s, None))
+        self.crashed_s = at_s
+        self.crash_log.append(at_s)
+        return lost, wasted
+
+    def recover(self, now_s: float) -> None:
+        """Return a crashed node to the pool: powered off (its forced
+        sleep span stays open) but wakeable and routable again."""
+        if self.crashed_s is None:
+            return
+        if now_s < self.crashed_s:
+            raise ValueError("cannot recover a node before it crashed")
+        self.crashed_s = None
+
     def assign(
         self,
         trace_key: str,
@@ -314,6 +400,10 @@ class SimulatedNode(TimelineAccounting):
         *current* PVC setting is stamped on the window so playback costs
         it under the setting its service time was computed for.
         """
+        if self.crashed_s is not None:
+            raise ValueError(
+                f"cannot assign work to crashed node {self.spec.name!r}"
+            )
         if not self.awake:
             raise ValueError(
                 f"cannot assign work to sleeping node {self.spec.name!r}"
@@ -321,12 +411,19 @@ class SimulatedNode(TimelineAccounting):
         if service_s < 0:
             raise ValueError("service_s must be non-negative")
         start = max(dispatch_s, self.busy_until, self.wake_ready_s)
+        stretch = 0.0
+        if self.faults is not None:
+            # Straggler fault: the window occupies longer than costed.
+            factor = self.faults.slowdown(self.spec.name, start)
+            if factor > 1.0:
+                stretch = service_s * (factor - 1.0)
         work = ScheduledWork(
             trace_key=trace_key,
             start_s=start,
-            end_s=start + service_s,
+            end_s=start + service_s + stretch,
             queries=queries,
             setting=self.setting,
+            stretch_s=stretch,
         )
         self.scheduled.append(work)
         self.busy_until = work.end_s
@@ -392,6 +489,11 @@ def node_timeline_pieces(
             work = payload
             pieces.append(table[work.trace_key])
             settings.append(work.setting or node.spec.setting)
+            if work.stretch_s > 1e-12:
+                # Straggler inflation: degraded occupancy past the
+                # costed trace, billed at awake-idle watts.
+                pieces.append(_idle_piece(work.stretch_s, "straggler"))
+                settings.append(work.setting or node.spec.setting)
         cursor = max(cursor, end)
     if horizon_s - cursor > 1e-12 and node.awake:
         pieces.append(_idle_piece(horizon_s - cursor, "idle"))

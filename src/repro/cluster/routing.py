@@ -36,6 +36,7 @@ become routing policies over the simulated fleet:
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass
 
@@ -78,9 +79,21 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
-        node = nodes[self._next % len(nodes)]
-        self._next += 1
-        return Decision(node, now_s)
+        # Rotate past crashed/unavailable nodes; a full cycle with no
+        # serviceable node refuses the arrival (the simulator's retry
+        # policy takes over when a fault plan is active).
+        for _ in range(len(nodes)):
+            node = nodes[self._next % len(nodes)]
+            self._next += 1
+            if not node.can_serve(now_s):
+                continue
+            if not node.awake:
+                # A recovered node rejoins through its wake transition.
+                node.wake(now_s)
+                if not node.awake:
+                    continue
+            return Decision(node, now_s)
+        return Decision(None, now_s)
 
 
 def earliest_completion_node(
@@ -101,10 +114,23 @@ class LeastLoadedRouter(Router):
     """Route to the node that would complete the query earliest."""
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
-        return Decision(
-            earliest_completion_node(nodes, now_s, service_by_node),
-            now_s,
+        # Earliest completion first (stable, so fault-free runs pick
+        # the same node min() used to); a crashed-then-recovered node
+        # rejoins through its wake transition, and if the wake fails
+        # the next-best node takes the query.
+        pool = sorted(
+            (n for n in nodes if n.can_serve(now_s)),
+            key=lambda n: (
+                max(now_s, n.ready_s) + service_by_node[n.spec.name]
+            ),
         )
+        for node in pool:
+            if not node.awake:
+                node.wake(now_s)
+                if not node.awake:
+                    continue
+            return Decision(node, now_s)
+        return Decision(None, now_s)
 
 
 class ConsolidateRouter(Router):
@@ -135,7 +161,8 @@ class ConsolidateRouter(Router):
             node.reset(awake=False)
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
-        awake = [n for n in nodes if n.awake]
+        usable = [n for n in nodes if n.can_serve(now_s)]
+        awake = [n for n in usable if n.awake]
         for node in awake:
             backlog = (
                 max(node.ready_s, now_s) - now_s
@@ -143,29 +170,37 @@ class ConsolidateRouter(Router):
             )
             if backlog <= self.max_backlog_s * node.spec.capacity:
                 return Decision(node, now_s)
-        best_awake = earliest_completion_node(
-            awake, now_s, service_by_node
+        best_awake = (
+            earliest_completion_node(awake, now_s, service_by_node)
+            if awake else None
         )
         best_completion = (
             max(now_s, best_awake.ready_s)
             + service_by_node[best_awake.spec.name]
+            if best_awake is not None else math.inf
         )
-        sleepers = [n for n in nodes if not n.awake]
-        if sleepers:
-            candidate = min(
-                sleepers,
-                key=lambda n: (
-                    n.spec.wake_latency_s
-                    + service_by_node[n.spec.name]
-                ),
-            )
+        # Cheapest wake first (stable, so fault-free runs pick the same
+        # node the one-shot min() used to).  A wake may *fail* under a
+        # fault plan; fall through to the next candidate, and with no
+        # awake node at all keep trying sleepers regardless of cost.
+        sleepers = sorted(
+            (n for n in usable if not n.awake),
+            key=lambda n: (
+                n.spec.wake_latency_s + service_by_node[n.spec.name]
+            ),
+        )
+        for candidate in sleepers:
             wake_completion = (
                 now_s + candidate.spec.wake_latency_s
                 + service_by_node[candidate.spec.name]
             )
-            if wake_completion < best_completion:
-                candidate.wake(now_s)
+            if wake_completion >= best_completion:
+                break
+            candidate.wake(now_s)
+            if candidate.awake:
                 return Decision(candidate, now_s)
+        if best_awake is None:
+            return Decision(None, now_s)
         return Decision(best_awake, now_s)
 
 
@@ -275,12 +310,25 @@ class DynamicConsolidateRouter(ConsolidateRouter):
 
     def _resize_awake_set(self, now_s: float,
                           nodes: list[SimulatedNode]) -> None:
+        usable = [n for n in nodes if n.can_serve(now_s)]
+        awake = [n for n in usable if n.awake]
+        sleepers = [n for n in usable if not n.awake]
+
+        # Replacement floor: when a crash (or unavailability window)
+        # drops the serviceable awake set below ``min_awake``, re-wake
+        # the cheapest sleeping replacement immediately -- before the
+        # EWMAs have warmed up, and regardless of measured demand.
+        while len(awake) < self.min_awake and sleepers:
+            node = min(sleepers, key=lambda n: n.spec.wake_latency_s)
+            node.wake(now_s)
+            sleepers.remove(node)
+            if node.awake:  # the wake may fail under a fault plan
+                awake.append(node)
+
         demand = self._demand_erlangs(now_s, nodes)
         if demand is None:
             return
         needed_cap = demand / self.target_utilization
-        awake = [n for n in nodes if n.awake]
-        sleepers = [n for n in nodes if not n.awake]
         awake_cap = sum(n.spec.capacity for n in awake)
 
         # Pre-wake: cheapest transition first (its capacity is usable
@@ -289,6 +337,8 @@ class DynamicConsolidateRouter(ConsolidateRouter):
             node = min(sleepers, key=lambda n: n.spec.wake_latency_s)
             node.wake(now_s)
             sleepers.remove(node)
+            if not node.awake:  # failed wake adds no capacity
+                continue
             awake.append(node)
             awake_cap += node.spec.capacity
 
@@ -345,7 +395,23 @@ class AdaptivePvcRouter(Router):
                              0.0)
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
-        node = earliest_completion_node(nodes, now_s, service_by_node)
+        pool = sorted(
+            (n for n in nodes if n.can_serve(now_s)),
+            key=lambda n: (
+                max(now_s, n.ready_s) + service_by_node[n.spec.name]
+            ),
+        )
+        node = None
+        for candidate in pool:
+            if not candidate.awake:
+                # A recovered node rejoins through its wake transition.
+                candidate.wake(now_s)
+                if not candidate.awake:
+                    continue
+            node = candidate
+            break
+        if node is None:
+            return Decision(None, now_s)
         name = node.spec.name
         projected = (
             max(now_s, node.ready_s) - now_s + service_by_node[name]
@@ -398,21 +464,36 @@ class BatchPlacement:
         raise NotImplementedError
 
     @staticmethod
-    def _awake(nodes: list[SimulatedNode]) -> list[SimulatedNode]:
-        awake = [n for n in nodes if n.awake]
-        return awake or nodes  # a fully asleep fleet falls back to waking
+    def _usable(nodes: list[SimulatedNode],
+                now_s: float) -> list[SimulatedNode]:
+        """Serviceable awake nodes, else serviceable sleepers (a fully
+        asleep fleet falls back to waking); crashed/unavailable nodes
+        never appear."""
+        pool = [n for n in nodes if n.can_serve(now_s)]
+        awake = [n for n in pool if n.awake]
+        return awake or pool
 
 
 class LeastLoadedPlacement(BatchPlacement):
     """The whole batch goes to the awake node finishing it soonest."""
 
     def place(self, batch, merged, now_s, service_by_node, nodes):
-        node = earliest_completion_node(
-            self._awake(nodes), now_s, service_by_node
+        # Earliest completion first; a sleeper whose wake fails under a
+        # fault plan is skipped, and an empty list sheds the batch into
+        # the simulator's retry path.
+        pool = sorted(
+            self._usable(nodes, now_s),
+            key=lambda n: (
+                max(now_s, n.ready_s) + service_by_node[n.spec.name]
+            ),
         )
-        if not node.awake:
-            node.wake(now_s)
-        return [(node, batch.queries)]
+        for node in pool:
+            if not node.awake:
+                node.wake(now_s)
+            if not node.awake:
+                continue
+            return [(node, batch.queries)]
+        return []
 
 
 class ConsolidatePlacement(BatchPlacement):
@@ -454,18 +535,23 @@ class HashSplitPlacement(BatchPlacement):
 
     def place(self, batch, merged, now_s, service_by_node, nodes):
         targets = sorted(
-            self._awake(nodes),
+            self._usable(nodes, now_s),
             key=lambda n: (
                 max(now_s, n.ready_s) + service_by_node[n.spec.name],
                 n.spec.name,
             ),
         )
+        if not targets:
+            return []
         k = min(len(targets), self.fanout or len(targets), batch.size)
         if merged is None or not merged.hash_routable or k < 2:
-            node = targets[0]
-            if not node.awake:
-                node.wake(now_s)
-            return [(node, batch.queries)]
+            for node in targets:
+                if not node.awake:
+                    node.wake(now_s)
+                if not node.awake:  # wake failed; try the next target
+                    continue
+                return [(node, batch.queries)]
+            return []
         targets = targets[:k]
         shards: list[list] = [[] for _ in range(k)]
         for query, value in zip(batch.queries, merged.routing_values):
@@ -473,12 +559,21 @@ class HashSplitPlacement(BatchPlacement):
             # shard placement must be reproducible across runs.
             shards[_stable_hash(value) % k].append(query)
         out = []
+        orphans: list = []
         for node, shard in zip(targets, shards):
             if not shard:
                 continue
             if not node.awake:
                 node.wake(now_s)
+            if not node.awake:  # wake failed; reassign this shard
+                orphans.extend(shard)
+                continue
             out.append((node, shard))
+        if orphans:
+            if not out:
+                return []
+            node, shard = out[0]
+            out[0] = (node, list(shard) + orphans)
         return out
 
 
@@ -546,6 +641,13 @@ class PowerCapRouter(Router):
         ]
         best: tuple[float, float, SimulatedNode] | None = None
         for node in nodes:
+            if not node.can_serve(now_s):
+                continue
+            if not node.awake:
+                # A recovered node rejoins through its wake transition.
+                node.wake(now_s)
+                if not node.awake:
+                    continue
             delta = self._deltas[node.spec.name]
             if self._baseline_w + delta > self.cap_w:
                 continue  # this node alone would breach the cap

@@ -33,12 +33,16 @@ of array operations:
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+from repro.cluster.faults import FaultPlan, RetryPolicy
 from repro.cluster.master_queue import DispatchedBatch, MasterQueue
 from repro.cluster.measure import (
     ClusterMeasurement,
+    FaultReport,
     NodeUsage,
     QedPartitionStats,
     QedReport,
@@ -120,6 +124,7 @@ class ClusterSchedule:
     cap_w: float | None
     workload_class: str
     qed: QedReport | None = None
+    faults: FaultReport | None = None
 
     @property
     def scheduled_pieces(self) -> int:
@@ -186,6 +191,8 @@ class ClusterSimulator:
         trace_cache: TraceCache | None = None,
         sut_factories: dict[str, Callable[[], SystemUnderTest]] | None = None,
         master_queue: MasterQueue | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one node")
@@ -233,6 +240,8 @@ class ClusterSimulator:
                 )
         self.db = db
         self.router = router
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
         self._factories = factories
         self.runner = WorkloadRunner(
             db, factories[specs[0].hw](), client=client,
@@ -312,8 +321,43 @@ class ClusterSimulator:
             for sql in distinct
         }
 
-        self.router.prepare(self.nodes)
+        # Fault layer: install the plan on every node *before* the
+        # router's prepare (node resets preserve it), seed the run's
+        # fault RNG, and lay the crash events out as a time heap.  With
+        # no plan -- or an empty one -- none of the hooks below run and
+        # the event loop is byte-identical to the fault-free simulator.
+        plan = self.faults
+        active = plan is not None and not plan.empty
         shed: list[ShedQuery] = []
+        report = FaultReport() if active else None
+        self._fault_active = active
+        self._fault_report = report
+        for node in self.nodes:
+            node.faults = plan if active else None
+        if active:
+            fleet = {n.spec.name for n in self.nodes}
+            unknown = {s.node for s in plan.specs} - fleet
+            if unknown:
+                raise ValueError(
+                    f"fault plan targets unknown nodes: {sorted(unknown)}"
+                )
+            plan.begin_run()
+            self._fault_events: list = []
+            self._fault_seq = 0
+            for node in self.nodes:
+                for spec in plan.crashes_for(node.spec.name):
+                    heapq.heappush(
+                        self._fault_events,
+                        (spec.at_s, self._fault_seq, "crash", node, spec),
+                    )
+                    self._fault_seq += 1
+            self._retries: list = []
+            self._retry_seq = 0
+            self._retry_ctx = (
+                table, durations, service_views, workload_class, shed
+            )
+
+        self.router.prepare(self.nodes)
         qed: QedReport | None = None
         end_of_arrivals = arrivals[-1].time_s
         if self.master_queue is not None:
@@ -328,6 +372,8 @@ class ClusterSimulator:
                 qed = QedReport(mode="node")
             for arrival in arrivals:
                 now = arrival.time_s
+                if active:
+                    self._advance_faults(now)
                 for node in queued:  # timeout-based QED dispatches
                     batch = self._expire_queue(node, now)
                     if batch is not None:
@@ -340,7 +386,13 @@ class ClusterSimulator:
                     arrival.sql, now, service_by_node, self.nodes
                 )
                 if decision.node is None:
-                    shed.append(ShedQuery(arrival.sql, now))
+                    if active:
+                        # No serviceable node right now; the retry
+                        # policy re-offers the query after backoff.
+                        self._push_retry(arrival.sql, now, now, 1,
+                                         requeue=False)
+                    else:
+                        shed.append(ShedQuery(arrival.sql, now))
                     continue
                 node = decision.node
                 if node.queue is not None:
@@ -364,6 +416,12 @@ class ClusterSimulator:
                         qed,
                     )
 
+        if active:
+            self._finish_faults(end_of_arrivals)
+            report.failed_wakes = sum(
+                len(n.failed_wakes) for n in self.nodes
+            )
+
         horizon = end_of_arrivals
         for node in self.nodes:
             horizon = max(horizon, node.busy_until)
@@ -386,6 +444,7 @@ class ClusterSimulator:
             cap_w=getattr(self.router, "cap_w", None),
             workload_class=workload_class,
             qed=qed,
+            faults=report,
         )
 
     def _expire_queue(self, node: SimulatedNode, now_s: float):
@@ -401,6 +460,122 @@ class ClusterSimulator:
         # flush (not tick): float addition noise in the expiry must not
         # leave the policy un-fired and the batch stranded.
         return node.queue.flush(expiry)
+
+    # -- fault injection & recovery ---------------------------------------
+
+    def _advance_faults(self, now_s: float) -> bool:
+        """Fire every pending fault event and due retry up to ``now_s``,
+        interleaved in time order (a retry dispatched at its ready time
+        sees exactly the crashes/recoveries that preceded it)."""
+        fired = False
+        while True:
+            fault_t = (
+                self._fault_events[0][0] if self._fault_events
+                else math.inf
+            )
+            retry_t = self._retries[0][0] if self._retries else math.inf
+            if min(fault_t, retry_t) > now_s + 1e-12:
+                return fired
+            fired = True
+            if fault_t <= retry_t:
+                self._fire_fault_event()
+            else:
+                ready, _, sql, arrival_s, attempt = heapq.heappop(
+                    self._retries
+                )
+                self._dispatch_retry(sql, arrival_s, ready, attempt)
+
+    def _fire_fault_event(self) -> None:
+        """Apply the earliest pending crash/recover event."""
+        at_s, _, kind, node, spec = heapq.heappop(self._fault_events)
+        if kind == "recover":
+            node.recover(at_s)
+            return
+        if node.crashed_s is not None:
+            return  # already down; an overlapping crash is absorbed
+        lost, wasted = node.crash(at_s)
+        report = self._fault_report
+        report.crashes += 1
+        report.wasted_busy_s += wasted
+        # Modeled write-off: the partial burn ran at busy watts before
+        # the crash threw its results away.
+        report.wasted_joules += node.power_estimate().busy_wall_w * wasted
+        for sql, arrival_s in lost:
+            self._push_retry(sql, arrival_s, at_s, 1, requeue=True)
+        if spec.recover_s is not None:
+            heapq.heappush(
+                self._fault_events,
+                (spec.recover_s, self._fault_seq, "recover", node, spec),
+            )
+            self._fault_seq += 1
+
+    def _push_retry(self, sql: str, arrival_s: float, now_s: float,
+                    attempt: int, requeue: bool) -> None:
+        """Queue retry number ``attempt`` after its backoff delay.
+
+        ``requeue=True`` marks work pulled back from a crashed node (as
+        opposed to an arrival no node would take); both flow through
+        the same heap and count toward ``retries``.
+        """
+        ready = now_s + self.retry.delay_s(attempt)
+        self._retry_seq += 1
+        heapq.heappush(
+            self._retries, (ready, self._retry_seq, sql, arrival_s, attempt)
+        )
+        report = self._fault_report
+        report.retries += 1
+        if requeue:
+            report.requeued += 1
+        report.affected.add((sql, arrival_s))
+
+    def _dispatch_retry(self, sql: str, arrival_s: float,
+                        ready_s: float, attempt: int) -> None:
+        """Re-offer one lost/refused query to the router at its ready
+        time.  Retries bypass QED queues (a second queueing pass would
+        double-charge latency the backoff already modeled) and keep the
+        query's *original* arrival time, so its response time includes
+        the whole ordeal.  A failed attempt backs off again until the
+        policy dead-letters it: shed, with accounting."""
+        table, durations, service_views, workload_class, shed = (
+            self._retry_ctx
+        )
+        decision = self.router.route(
+            sql, ready_s, service_views[sql], self.nodes
+        )
+        node = decision.node
+        if node is not None and node.awake and node.can_serve(ready_s):
+            service = self._duration_for(
+                node, sql, table, durations, workload_class
+            )
+            node.assign(
+                sql, decision.dispatch_s, service, ((sql, arrival_s),)
+            )
+            return
+        if self.retry.exhausted(attempt):
+            shed.append(ShedQuery(sql, arrival_s))
+            self._fault_report.dead_lettered += 1
+            return
+        self._push_retry(sql, arrival_s, ready_s, attempt + 1,
+                         requeue=False)
+
+    def _finish_faults(self, end_of_arrivals: float) -> None:
+        """Run the fault/retry machinery past the last arrival.
+
+        Backoffs can push retries beyond the stream's end, and crashes
+        can strike work still draining there; keep advancing to the
+        fleet's moving activity bound (plus the earliest pending retry)
+        until nothing more can fire.  Crash events beyond all activity
+        never fire -- the run is over."""
+        while True:
+            bound = end_of_arrivals
+            for node in self.nodes:
+                bound = max(bound, node.busy_until)
+                if node.awake:
+                    bound = max(bound, node.wake_ready_s)
+            if self._retries:
+                bound = max(bound, self._retries[0][0])
+            if not self._advance_faults(bound):
+                return
 
     # -- QED batch serving -------------------------------------------------
 
@@ -448,6 +623,8 @@ class ClusterSimulator:
         placement.prepare(self.router, self.nodes)
         for arrival in arrivals:
             now = arrival.time_s
+            if self._fault_active:
+                self._advance_faults(now)
             for dispatched in self.master_queue.expired(now):
                 self._place_dispatched(
                     dispatched, table, durations, service_views,
@@ -486,9 +663,17 @@ class ClusterSimulator:
             service_views[batch.queries[0].sql], self.nodes,
         )
         if not assignments:
-            shed.extend(
-                ShedQuery(q.sql, q.arrival_s) for q in batch.queries
-            )
+            if self._fault_active:
+                # Unplaceable under faults (crashes/failed wakes): each
+                # query re-enters through the retry policy instead of
+                # being silently shed.
+                for q in batch.queries:
+                    self._push_retry(q.sql, q.arrival_s,
+                                     batch.dispatch_s, 1, requeue=False)
+            else:
+                shed.extend(
+                    ShedQuery(q.sql, q.arrival_s) for q in batch.queries
+                )
             return
         for node, queries in assignments:
             shard = (
@@ -724,6 +909,7 @@ class ClusterSimulator:
             peak_power_w=schedule.peak_power_w,
             cap_w=schedule.cap_w,
             qed=schedule.qed,
+            faults=schedule.faults,
         )
 
     def run(self, arrivals: list[Arrival],

@@ -742,3 +742,228 @@ def run_diurnal_ablation(
         hetero_loop_wall_s=hetero[1],
         hetero_max_rel_diff=hetero[2],
     )
+
+
+# -- fault ablation: consolidate-with-recovery vs always-awake spread ------
+
+#: Canonical fault-recovery scenario, shared by
+#: ``benchmarks/bench_fault_recovery.py`` and ``scripts/perf_report.py``
+#: so both write comparable ``faults`` records.  The plan exercises
+#: every fault kind the layer models: a straggler window inflates the
+#: hot node's service times, a crash then kills it mid-batch (its
+#: in-flight work requeues through the retry policy), the obvious
+#: replacement refuses to wake while the crash is fresh, and a
+#: transient-unavailability window keeps a fourth node out of the
+#: routing pool.  Times are in stream seconds at the reference scale
+#: factor; :func:`fault_plan` rescales them with SF exactly like the
+#: stream's interarrival times, so the faults keep striking the same
+#: phase of the run at any scale.
+FAULT_REFERENCE_SF = 0.01
+FAULT_NODES = 4
+FAULT_ARRIVALS = 300
+FAULT_DISTINCT = 20
+FAULT_MEAN_INTERARRIVAL_S = 0.1
+FAULT_SEED = 13
+FAULT_PLAN_SEED = 29
+FAULT_SLA_S = 1.5
+#: Equal SLA-miss budget for both modes: 1% of arrivals.
+FAULT_SLA_BUDGET = 0.01
+FAULT_WAKE_LATENCY_S = 0.5
+FAULT_RETRY_MAX = 4
+FAULT_RETRY_BACKOFF_S = 0.05
+FAULT_STRAGGLER_START_S = 2.0
+FAULT_STRAGGLER_END_S = 3.0
+FAULT_STRAGGLER_SLOWDOWN = 4.0
+FAULT_CRASH_AT_S = 2.5
+FAULT_RECOVER_AT_S = 4.0
+FAULT_WAKE_FAIL_END_S = 3.5
+FAULT_UNAVAILABLE_S = (0.5, 1.5)
+
+
+def fault_plan(sf: float | None = None):
+    """The canonical fault plan, time-rescaled to ``sf``."""
+    from repro.cluster import FaultPlan, FaultSpec
+
+    scale = sf / FAULT_REFERENCE_SF if sf else 1.0
+    return FaultPlan([
+        FaultSpec("straggler", "node00",
+                  start_s=FAULT_STRAGGLER_START_S * scale,
+                  end_s=FAULT_STRAGGLER_END_S * scale,
+                  slowdown=FAULT_STRAGGLER_SLOWDOWN),
+        FaultSpec("crash", "node00",
+                  at_s=FAULT_CRASH_AT_S * scale,
+                  recover_s=FAULT_RECOVER_AT_S * scale),
+        FaultSpec("wake-failure", "node01",
+                  start_s=0.0, end_s=FAULT_WAKE_FAIL_END_S * scale,
+                  probability=1.0),
+        FaultSpec("unavailable", "node03",
+                  start_s=FAULT_UNAVAILABLE_S[0] * scale,
+                  end_s=FAULT_UNAVAILABLE_S[1] * scale),
+    ], seed=FAULT_PLAN_SEED)
+
+
+def fault_ablation_stream(sf: float | None = None):
+    """The canonical Poisson stream the faults strike.
+
+    ``REPRO_BENCH_FAULT_ARRIVALS`` shrinks it for CI smoke runs (keep
+    it long enough to outlive the crash); ``sf`` rescales interarrival
+    times so the offered load matches the reference calibration.
+    """
+    import os
+
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.selection import selection_workload
+
+    count = int(os.environ.get("REPRO_BENCH_FAULT_ARRIVALS",
+                               str(FAULT_ARRIVALS)))
+    scale = sf / FAULT_REFERENCE_SF if sf else 1.0
+    base = selection_workload(FAULT_DISTINCT).queries
+    queries = [base[i % FAULT_DISTINCT] for i in range(count)]
+    return poisson_arrivals(
+        queries, FAULT_MEAN_INTERARRIVAL_S * scale, seed=FAULT_SEED
+    )
+
+
+@dataclass
+class FaultAblation:
+    """Consolidate-with-recovery vs always-awake spread under faults.
+
+    The acceptance claim: even while nodes crash mid-batch, refuse to
+    wake, and straggle, energy-aware consolidation *with the recovery
+    layer* still beats the always-awake spread baseline on energy at an
+    equal SLA-miss budget -- and neither mode loses a query silently
+    (every arrival is served or visibly dead-lettered).
+    """
+
+    arrivals: int
+    nodes: int
+    scale_factor: float | None
+    sla_s: float
+    sla_budget: float
+    retry_max: int
+    retry_backoff_s: float
+    modes: dict
+
+    @property
+    def _budget(self) -> float:
+        return self.sla_budget * self.arrivals
+
+    def _within_budget(self, name: str) -> bool:
+        return self.modes[name]["sla_misses"] <= self._budget
+
+    @property
+    def consolidate_beats_spread(self) -> bool:
+        return (
+            self.modes["consolidate"]["wall_joules"]
+            < self.modes["spread"]["wall_joules"]
+            and self._within_budget("consolidate")
+            and self._within_budget("spread")
+        )
+
+    @property
+    def consolidate_vs_spread_saving(self) -> float:
+        return 1.0 - (
+            self.modes["consolidate"]["wall_joules"]
+            / self.modes["spread"]["wall_joules"]
+        )
+
+    @property
+    def conserved(self) -> bool:
+        """No query silently lost in either mode: every arrival served
+        exactly once or visibly shed (dead-lettered)."""
+        return all(m["conserved"] for m in self.modes.values())
+
+    @property
+    def faults_active(self) -> bool:
+        """The plan actually bit: a crash took in-flight work (the
+        requeues prove it was mid-batch) and a wake failed."""
+        f = self.modes["consolidate"]["faults"]
+        return (
+            f["crashes"] >= 1
+            and f["requeued"] >= 1
+            and f["failed_wakes"] >= 1
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["consolidate_beats_spread"] = self.consolidate_beats_spread
+        out["consolidate_vs_spread_saving"] = (
+            self.consolidate_vs_spread_saving
+        )
+        out["conserved"] = self.conserved
+        out["faults_active"] = self.faults_active
+        return out
+
+
+def run_fault_ablation(
+    db: Database,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> FaultAblation:
+    """Run the canonical fault plan under both fleet modes."""
+    from repro.cluster import (
+        ClusterSimulator,
+        DynamicConsolidateRouter,
+        RetryPolicy,
+        RoundRobinRouter,
+        uniform_fleet,
+    )
+
+    stream = fault_ablation_stream(scale_factor)
+    scale = (
+        scale_factor / FAULT_REFERENCE_SF if scale_factor else 1.0
+    )
+    sla_s = FAULT_SLA_S * scale
+    retry = RetryPolicy(max_attempts=FAULT_RETRY_MAX,
+                        backoff_s=FAULT_RETRY_BACKOFF_S * scale)
+    specs = uniform_fleet(FAULT_NODES,
+                          wake_latency_s=FAULT_WAKE_LATENCY_S * scale)
+    expected = sorted((a.sql, a.time_s) for a in stream)
+
+    def router_for(name: str):
+        if name == "spread":
+            return RoundRobinRouter()
+        return DynamicConsolidateRouter(
+            max_backlog_s=sla_s, target_utilization=0.5
+        )
+
+    modes: dict[str, dict] = {}
+    for name in ("spread", "consolidate"):
+        sim = ClusterSimulator(db, specs, router_for(name),
+                               trace_cache=trace_cache,
+                               faults=fault_plan(scale_factor),
+                               retry=retry)
+        m = sim.run(stream)
+        outcomes = sorted(
+            [(r.sql, r.arrival_s) for r in m.responses]
+            + [(s.sql, s.arrival_s) for s in m.shed]
+        )
+        report = m.faults
+        modes[name] = {
+            "wall_joules": m.wall_joules,
+            "edp": m.edp,
+            "horizon_s": m.horizon_s,
+            "served": m.served,
+            "shed": len(m.shed),
+            "sla_misses": m.sla_violations(sla_s),
+            "p95_response_s": m.p95_response_s,
+            "busy_s": sum(n.busy_s for n in m.nodes),
+            "awake_node_s": m.awake_node_s,
+            "faults": report.to_dict(),
+            "sla_split": m.sla_split(sla_s),
+            "conserved": (
+                outcomes == expected
+                and len(m.shed) == report.dead_lettered
+            ),
+        }
+
+    return FaultAblation(
+        arrivals=len(stream),
+        nodes=FAULT_NODES,
+        scale_factor=scale_factor,
+        sla_s=sla_s,
+        sla_budget=FAULT_SLA_BUDGET,
+        retry_max=FAULT_RETRY_MAX,
+        retry_backoff_s=FAULT_RETRY_BACKOFF_S * scale,
+        modes=modes,
+    )

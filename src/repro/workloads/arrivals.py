@@ -49,11 +49,18 @@ def _finalize(out: list[Arrival], start_s: float) -> list[Arrival]:
 
 
 def poisson_arrivals(queries: list[str], mean_interarrival_s: float,
-                     seed: int = 0, start_s: float = 0.0) -> list[Arrival]:
-    """Exponential inter-arrival times (a Poisson process)."""
+                     seed: int = 0, start_s: float = 0.0,
+                     rng: np.random.Generator | None = None) -> list[Arrival]:
+    """Exponential inter-arrival times (a Poisson process).
+
+    Passing ``rng`` threads one shared generator through arrivals (and,
+    via :meth:`FaultPlan.begin_run`, fault outcomes) so a whole run's
+    randomness hangs off a single seed; ``seed`` is ignored then.
+    """
     if mean_interarrival_s <= 0:
         raise ValueError("mean_interarrival_s must be positive")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     now = start_s
     out: list[Arrival] = []
     for sql in queries:
@@ -203,8 +210,9 @@ def piecewise_schedule(
 
 
 def rate_schedule_arrivals(queries: list[str], schedule: RateSchedule,
-                           seed: int = 0,
-                           start_s: float = 0.0) -> list[Arrival]:
+                           seed: int = 0, start_s: float = 0.0,
+                           rng: np.random.Generator | None = None,
+                           ) -> list[Arrival]:
     """Nonhomogeneous Poisson arrivals following ``schedule``, by
     thinning (Lewis & Shedler): candidate events fire at ``peak_rate``
     and survive with probability ``lambda(t) / peak_rate``.
@@ -213,10 +221,13 @@ def rate_schedule_arrivals(queries: list[str], schedule: RateSchedule,
     over the horizon; SQL statements are assigned by cycling through
     ``queries`` in order, so any non-empty ``queries`` list serves any
     schedule.  Seeded and sorted, hence ``merge_arrivals``-compatible.
+    An explicit ``rng`` (shared, e.g., with a fault plan) overrides
+    ``seed``.
     """
     if not queries:
         return []
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     out: list[Arrival] = []
     elapsed = 0.0
     index = 0
@@ -234,23 +245,25 @@ def rate_schedule_arrivals(queries: list[str], schedule: RateSchedule,
 def diurnal_arrivals(queries: list[str], base_rate: float,
                      peak_rate: float, period_s: float, horizon_s: float,
                      seed: int = 0, start_s: float = 0.0,
-                     phase_s: float = 0.0) -> list[Arrival]:
+                     phase_s: float = 0.0,
+                     rng: np.random.Generator | None = None,
+                     ) -> list[Arrival]:
     """Sinusoidal day/night arrival stream (see :func:`diurnal_schedule`)."""
     return rate_schedule_arrivals(
         queries,
         diurnal_schedule(base_rate, peak_rate, period_s, horizon_s,
                          phase_s=phase_s),
-        seed=seed, start_s=start_s,
+        seed=seed, start_s=start_s, rng=rng,
     )
 
 
 def ramp_arrivals(queries: list[str], start_rate: float, end_rate: float,
-                  horizon_s: float, seed: int = 0,
-                  start_s: float = 0.0) -> list[Arrival]:
+                  horizon_s: float, seed: int = 0, start_s: float = 0.0,
+                  rng: np.random.Generator | None = None) -> list[Arrival]:
     """Linearly ramping arrival stream (see :func:`ramp_schedule`)."""
     return rate_schedule_arrivals(
         queries, ramp_schedule(start_rate, end_rate, horizon_s),
-        seed=seed, start_s=start_s,
+        seed=seed, start_s=start_s, rng=rng,
     )
 
 

@@ -309,3 +309,7 @@ def test_uniform_fleet_names_and_validation():
         _uf(0)
     with pytest.raises(ValueError):
         NodeSpec("x", wake_latency_s=-1.0)
+    with pytest.raises(ValueError):
+        NodeSpec("x", capacity=0.0)
+    with pytest.raises(ValueError):
+        NodeSpec("x", capacity=-0.5)

@@ -17,6 +17,7 @@ SCRIPTS = [
     "cluster_energy_policies.py",
     "diurnal_consolidation.py",
     "master_qed.py",
+    "faulty_fleet.py",
 ]
 
 
