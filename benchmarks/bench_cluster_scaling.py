@@ -59,7 +59,9 @@ def test_cluster_batched_playback_speedup(
               float(comparison.scheduled_pieces))
     table.add("cluster energy (J)", None,
               comparison.batched_wall_joules, unit="J")
+    table.add("tracing overhead", None, comparison.tracing_overhead)
     table.print()
+    print(f"run id: {comparison.run_id}")
 
     bench_artifact({"cluster_scaling": comparison.to_dict()})
 
@@ -69,5 +71,9 @@ def test_cluster_batched_playback_speedup(
         comparison.batched_wall_joules - comparison.loop_wall_joules
     ) / comparison.batched_wall_joules
     assert total_rel <= MAX_REL_DIFF
+    # Span tracing must observe, never perturb: the traced schedule's
+    # playback energies match the untraced run to the same bound.
+    assert comparison.traced_max_rel_diff <= MAX_REL_DIFF
+    assert comparison.traced_spans > 0
     # The acceptance gate: batched playback >= 5x over the replay loop.
     assert comparison.speedup >= MIN_SPEEDUP

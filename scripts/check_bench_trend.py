@@ -105,6 +105,12 @@ def history_entry(record: dict, keys=DEFAULT_KEYS) -> dict:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "scale_factor": record.get("scale_factor"),
     }
+    # Config fingerprint hash of the gated cluster run, when the
+    # artifact carries one -- ties each trajectory point to the exact
+    # fleet/policy/stream configuration that produced it.
+    run_id = dig(record, "cluster_scaling.run_id")
+    if run_id is not None:
+        entry["cluster_scaling.run_id"] = run_id
     for key in keys:
         value = dig(record, key)
         if value is not None:

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point, tiered so the workflow can fan stages out:
 #
-#   scripts/ci.sh                  # everything (lint -> tests -> perf -> cluster)
+#   scripts/ci.sh                  # everything (lint -> tests -> perf -> cluster -> obs)
 #   scripts/ci.sh --stage lint     # syntax/bytecode sanity only
 #   scripts/ci.sh --stage tests    # tier-1 pytest suite
 #   scripts/ci.sh --stage perf     # sweep perf smoke bench
 #   scripts/ci.sh --stage cluster  # cluster + diurnal + qed smoke benches
+#   scripts/ci.sh --stage obs      # traced cluster smoke + trace schema
+#                                  # + tracing-overhead trend gate
 #
 # The perf benches run at a tiny scale factor and enforce the >= 5x
 # speedup gates (they also refresh the smoke copy of BENCH_perf.json;
@@ -20,7 +22,7 @@ STAGE="all"
 while [ $# -gt 0 ]; do
     case "$1" in
         --stage) STAGE="$2"; shift 2 ;;
-        *) echo "usage: scripts/ci.sh [--stage lint|tests|perf|cluster|all]" >&2
+        *) echo "usage: scripts/ci.sh [--stage lint|tests|perf|cluster|obs|all]" >&2
            exit 2 ;;
     esac
 done
@@ -78,12 +80,55 @@ run_cluster() {
                faults.consolidate_vs_spread_saving
 }
 
+run_obs() {
+    local obs_dir trace metrics
+    obs_dir="$(mktemp -d "${TMPDIR:-/tmp}/repro-obs.XXXXXX")"
+    trace="$obs_dir/trace.json"
+    metrics="$obs_dir/metrics.json"
+    echo "== traced cluster smoke run =="
+    python -m repro cluster --sf 0.002 --nodes 4 --arrivals 60 \
+        --distinct 8 --policy dynamic --sla 1.0 \
+        --faults examples/fault_plan.json \
+        --trace "$trace" --metrics "$metrics" --window 1
+    echo "== trace schema + energy reconciliation =="
+    python -m repro obs report "$trace"
+    echo "== metrics export sanity =="
+    python - "$metrics" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["format"] == "repro-obs-metrics", doc.get("format")
+assert doc["samples"], "no metric samples recorded"
+assert doc["counters"].get("arrivals") == 60.0, doc["counters"]
+ts = [s["t_s"] for s in doc["samples"]]
+assert ts == sorted(ts), "samples out of order"
+print(f"metrics OK: {len(doc['samples'])} samples, "
+      f"counters {sorted(doc['counters'])}")
+EOF
+    rm -rf "$obs_dir"
+    echo "== tracing-overhead trend gate (cluster_scaling) =="
+    if [ ! -f "$SMOKE_JSON" ]; then
+        echo "no fresh smoke artifact; running cluster scaling bench"
+        REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+        REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
+        REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
+            python -m pytest benchmarks/bench_cluster_scaling.py -x -q
+    fi
+    # The tracing-disabled hooks ride the schedule()/playback() hot
+    # path; gate them at <= 5% against the committed baseline speedup.
+    python scripts/check_bench_trend.py \
+        --fresh "$SMOKE_JSON" --keys cluster_scaling.speedup \
+        --max-regression 0.05
+}
+
 case "$STAGE" in
     lint)    run_lint ;;
     tests)   run_tests ;;
     perf)    run_perf ;;
     cluster) run_cluster ;;
-    all)     run_lint; run_tests; run_perf; run_cluster ;;
+    obs)     run_obs ;;
+    all)     run_lint; run_tests; run_perf; run_cluster; run_obs ;;
     *) echo "unknown stage: $STAGE" >&2; exit 2 ;;
 esac
 

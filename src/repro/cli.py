@@ -335,6 +335,19 @@ def cmd_cluster(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    tracer = None
+    metrics = None
+    if args.trace is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+    if args.metrics is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry(
+            window_s=args.window if args.window is not None else 30.0
+        )
+
     print(f"building lineitem database at SF {args.sf} ...")
     db = tpch_database(args.sf, mysql_profile(), seed=0,
                        tables=["lineitem"])
@@ -345,7 +358,7 @@ def cmd_cluster(args) -> int:
     )
     sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache,
                            master_queue=master_queue, faults=fault_plan,
-                           retry=retry)
+                           retry=retry, tracer=tracer, metrics=metrics)
     try:
         m = sim.run(stream, mode=args.playback)
     except ValueError as exc:
@@ -415,10 +428,64 @@ def cmd_cluster(args) -> int:
                   f"{w.modeled_joules:10.1f} {w.avg_power_w:7.1f} "
                   f"{w.awake_node_s:9.1f} {w.re_sleeps:8d} "
                   f"{w.p95_response_s*1e3:8.1f}")
+    if m.run_id is not None:
+        print(f"  run id         : {m.run_id}")
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        meta = write_trace(args.trace, tracer, measurement=m)
+        att = meta["attribution"]
+        print(f"  trace          : {args.trace} "
+              f"({len(tracer.spans)} spans)")
+        print(f"  energy reconcile: {att['reconciliation_abs_j']:.3e} J "
+              f"(rel {att['reconciliation_rel']:.3e})")
+    if metrics is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(args.metrics, metrics)
+        print(f"  metrics        : {args.metrics} "
+              f"({len(metrics.samples)} samples, "
+              f"{metrics.window_s:g} s windows)")
     if m.cap_w is not None:
         print(f"  power cap      : {m.cap_w:.1f} W "
               f"(overshoot {m.power_cap_overshoot_w:.2f} W)")
         return 1 if m.power_cap_overshoot_w > 0 else 0
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs import (
+        load_trace,
+        render_attribution,
+        render_span_stats,
+        span_stats,
+        validate_trace,
+    )
+
+    try:
+        meta, spans = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_trace(meta, spans)
+    print(f"trace: {args.trace}")
+    print(f"  run id  : {meta.get('run_id')}")
+    print(f"  horizon : {float(meta.get('horizon_s', 0.0)):.2f} s")
+    print(f"  spans   : {len(spans)}")
+    stats = span_stats(spans)
+    if stats:
+        print()
+        print(render_span_stats(stats))
+    attribution = meta.get("attribution")
+    if attribution is not None:
+        print()
+        print(render_attribution(attribution))
+    if errors:
+        print()
+        for err in errors:
+            print(f"INVALID: {err}", file=sys.stderr)
+        return 1
+    print("\ntrace valid")
     return 0
 
 
@@ -558,7 +625,25 @@ def build_parser() -> argparse.ArgumentParser:
                    default="batched")
     p.add_argument("--trace-cache", default=None, metavar="DIR",
                    help="persist compiled traces across processes")
+    p.add_argument("--trace", default=None, metavar="TRACE.json",
+                   help="export a per-query span trace: .jsonl is "
+                        "line-delimited, anything else is Chrome "
+                        "trace_event JSON (loads in Perfetto / "
+                        "chrome://tracing)")
+    p.add_argument("--metrics", default=None, metavar="METRICS.json",
+                   help="export streaming metrics sampled on --window "
+                        "boundaries (30 s default when --window unset)")
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser("obs", help="observability trace tooling")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    r = obs_sub.add_parser(
+        "report",
+        help="validate an exported trace; print span and energy "
+             "attribution breakdowns",
+    )
+    r.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
+    r.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser("experiments", help="run everything")
     p.add_argument("--sf", type=float, default=0.02)

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -96,6 +96,11 @@ class FaultSpec:
         """Whether ``t`` falls inside the fault's active window."""
         end = math.inf if self.end_s is None else self.end_s
         return self.start_s <= t < end
+
+    def to_dict(self) -> dict:
+        """The ``--faults plan.json`` entry shape (round-trips through
+        :meth:`FaultPlan.from_dict`)."""
+        return asdict(self)
 
 
 class FaultPlan:
@@ -194,6 +199,13 @@ class FaultPlan:
                 )
             specs.append(FaultSpec(**raw))
         return cls(specs, seed=int(doc.get("seed", 0)))
+
+    def to_dict(self) -> dict:
+        """The plan back in its JSON schema (fingerprinting, exports)."""
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
 
 
 def load_fault_plan(path: str) -> FaultPlan:

@@ -95,6 +95,14 @@ class MasterQueue:
         """Labels of the mergeable partitions seen so far this run."""
         return [self._labels[key] for key in self._queues]
 
+    def depths(self) -> dict[str, int]:
+        """Pending queries per mergeable partition, by label (the
+        streaming-metrics queue-depth gauge)."""
+        return {
+            self._labels[key]: len(queue)
+            for key, queue in self._queues.items()
+        }
+
     def partition_of(self, sql: str) -> PartitionKey | None:
         """The query's partition key (memoized parse; None: pass-through)."""
         try:

@@ -250,6 +250,32 @@ class NodeUsage:
         """Playback wall energy plus the sleep-state draw."""
         return self.playback.wall_joules + self.sleep_joules
 
+    def energy_breakdown(self) -> dict[str, float]:
+        """Per-phase modeled joules under the linear power envelope.
+
+        The four phases tile the node's horizon exactly -- busy windows
+        at busy watts, wake transitions and awake-idle time at idle
+        watts, sleep spans at sleep watts -- so their sum equals the
+        envelope integral :attr:`ClusterMeasurement.modeled_wall_joules`
+        computes independently (the attribution reconciliation).  The
+        residual idle term is clamped at zero against float tiling
+        noise only; phase spans never truly overlap.
+        """
+        idle_s = max(
+            0.0, self.horizon_s - self.sleep_s - self.wake_s - self.busy_s
+        )
+        return {
+            "busy_j": self.busy_wall_w * self.busy_s,
+            "idle_j": self.idle_wall_w * idle_s,
+            "wake_j": self.idle_wall_w * self.wake_s,
+            "sleep_j": self.sleep_wall_w * self.sleep_s,
+        }
+
+    @property
+    def modeled_joules(self) -> float:
+        """Envelope-modeled node energy (sum of the phase breakdown)."""
+        return sum(self.energy_breakdown().values())
+
 
 @dataclass(frozen=True)
 class PhaseWindow:
@@ -308,6 +334,11 @@ class ClusterMeasurement:
     cap_w: float | None = None
     qed: QedReport | None = None
     faults: FaultReport | None = None
+    #: Deterministic identity of the run's full configuration (fleet,
+    #: policy, faults, arrival stream, scale factor); stamped by the
+    #: simulator so reports and bench history are attributable.
+    run_id: str | None = None
+    fingerprint: dict | None = None
 
     # -- energy -----------------------------------------------------------
 
@@ -327,6 +358,27 @@ class ClusterMeasurement:
     @property
     def cpu_joules(self) -> float:
         return sum(n.playback.cpu_joules for n in self.nodes)
+
+    @property
+    def modeled_wall_joules(self) -> float:
+        """Envelope-modeled cluster energy over the horizon.
+
+        The integral of each node's linear power envelope: sleep watts
+        asleep, idle watts awake (wake transitions included), plus the
+        busy delta inside busy windows.  Computed independently of
+        :meth:`NodeUsage.energy_breakdown` so the observability layer's
+        per-phase attribution has a genuine reconciliation target
+        rather than a restatement of itself.
+        """
+        total = 0.0
+        for n in self.nodes:
+            awake_s = n.horizon_s - n.sleep_s
+            total += (
+                n.sleep_wall_w * n.sleep_s
+                + n.idle_wall_w * awake_s
+                + (n.busy_wall_w - n.idle_wall_w) * n.busy_s
+            )
+        return total
 
     @property
     def edp(self) -> float:
@@ -455,23 +507,34 @@ class ClusterMeasurement:
         Each window attributes modeled energy, awake/busy/wake/sleep
         node-seconds, arrivals, completions, re-sleeps, and the p95
         response time of queries *completing* inside it.  Windows tile
-        ``[0, horizon_s)``; the last one is clipped at the horizon.
+        ``[0, horizon_s)``; the last one closes at the horizon.  The
+        window count backs off a hair of float noise so a horizon that
+        is K windows up to accumulated rounding (3 x 0.1 = 0.30000...04)
+        yields K windows, not K plus a degenerate zero-width tail that
+        would also steal the horizon-time completions from the real
+        final window.  A zero-horizon measurement (nothing ever ran)
+        still reports one well-formed ``[0, 0]`` window rather than
+        silently dropping the run.
         """
         if window_s <= 0:
             raise ValueError("window_s must be positive")
-        if self.horizon_s <= 0:
-            return []
-        count = int(np.ceil(self.horizon_s / window_s))
+        count = (
+            max(1, int(np.ceil(self.horizon_s / window_s - 1e-9)))
+            if self.horizon_s > 0 else 1
+        )
         out: list[PhaseWindow] = []
         for k in range(count):
             lo = k * window_s
-            hi = min((k + 1) * window_s, self.horizon_s)
+            last = k == count - 1
+            hi = (
+                max(0.0, self.horizon_s) if last
+                else min((k + 1) * window_s, self.horizon_s)
+            )
             span = hi - lo
+
             # Windows are half-open except the last, which closes at
             # the horizon -- the horizon IS the final completion time,
             # so an exclusive bound would drop the last query served.
-            last = k == count - 1
-
             def inside(t: float) -> bool:
                 return lo <= t < hi or (last and t == hi)
             busy = wake = sleep = joules = 0.0
@@ -519,8 +582,16 @@ class ClusterMeasurement:
         return out
 
     def summary(self) -> dict[str, float]:
-        """Flat scalar summary (CLI table / benchmark artifacts)."""
-        out = {
+        """Flat scalar summary (CLI table / benchmark artifacts).
+
+        Carries the run's deterministic ``run_id`` (the one non-float
+        entry) when the simulator stamped one, so summaries -- and the
+        artifacts built from them -- are attributable to exact configs.
+        """
+        out: dict = {}
+        if self.run_id is not None:
+            out["run_id"] = self.run_id
+        out.update({
             "horizon_s": self.horizon_s,
             "served": float(self.served),
             "shed": float(len(self.shed)),
@@ -539,7 +610,7 @@ class ClusterMeasurement:
             ),
             "awake_node_s": self.awake_node_s,
             "re_sleeps": float(self.re_sleeps),
-        }
+        })
         if self.qed is not None:
             out.update({
                 "qed_batches": float(self.qed.batches),

@@ -201,6 +201,28 @@ class TimelineAccounting:
         """End of the latest wake transition (0.0 if none)."""
         return self.wake_log[-1][1] if self.wake_log else 0.0
 
+    def modeled_power_w(self, now_s: float) -> float:
+        """Instantaneous modeled wall power at ``now_s``.
+
+        The same linear envelope playback integrates: sleep watts when
+        asleep (or crashed -- the crash forces a sleep span), idle
+        watts awake (wake transitions included), busy watts inside a
+        busy window.  Read by the metrics sampler from inside the event
+        loop, so it reflects the timeline *as scheduled so far* -- the
+        standard discrete-event sampled-at-processing-time view.
+        """
+        if not self.awake:
+            return self.spec.sleep_wall_w
+        est = self.power_estimate()
+        # Scheduled windows are time-ordered per node; walk from the
+        # latest so samples near the loop's position stay O(1).
+        for work in reversed(self.scheduled):
+            if work.start_s <= now_s < work.end_s:
+                return est.busy_wall_w
+            if work.end_s <= now_s:
+                break
+        return est.idle_wall_w
+
     def power_estimate(self) -> ServerSpec:
         """Linear power envelope (Fan et al.) derived from the SUT.
 

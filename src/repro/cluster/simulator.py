@@ -68,6 +68,9 @@ from repro.core.qed.executor import merged_batch_execution
 from repro.core.qed.queue import Batch, QueuedQuery
 from repro.db.engine import Database
 from repro.hardware.cpu import PvcSetting
+from repro.obs.fingerprint import config_fingerprint, run_id_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import MASTER_TRACK, NULL_TRACER, Tracer
 from repro.hardware.system import SystemUnderTest
 from repro.hardware.trace import CompiledTrace
 from repro.workloads.arrivals import Arrival
@@ -125,6 +128,8 @@ class ClusterSchedule:
     workload_class: str
     qed: QedReport | None = None
     faults: FaultReport | None = None
+    run_id: str | None = None
+    fingerprint: dict | None = None
 
     @property
     def scheduled_pieces(self) -> int:
@@ -193,6 +198,8 @@ class ClusterSimulator:
         master_queue: MasterQueue | None = None,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one node")
@@ -242,6 +249,12 @@ class ClusterSimulator:
         self.router = router
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Observability hooks.  The default tracer is the shared no-op
+        #: (``enabled=False``), so the event loop only ever pays dead
+        #: branch checks; a metrics registry is sampled on simulated
+        #: window boundaries when attached.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._factories = factories
         self.runner = WorkloadRunner(
             db, factories[specs[0].hw](), client=client,
@@ -284,6 +297,27 @@ class ClusterSimulator:
             raise ValueError("need at least one arrival")
         arrivals = sorted(arrivals, key=lambda a: a.time_s)
         workload_class = self.db.workload_class
+
+        # Every run is stamped with a deterministic identity derived
+        # from its full configuration; same config => same run_id.
+        fingerprint = config_fingerprint(
+            [node.spec for node in self.nodes], self.router,
+            master_queue=self.master_queue, faults=self.faults,
+            retry=self.retry, arrivals=arrivals,
+            workload_class=workload_class,
+            scale_factor=getattr(self.db, "scale_factor", None),
+        )
+        run_id = run_id_for(fingerprint)
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_run(
+                {"run_id": run_id, "fingerprint": fingerprint}
+            )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.begin_run(run_id)
+            self._next_sample_s = 0.0
 
         # Execute-once: each distinct statement hits the database once;
         # row data is evicted as soon as the trace is compiled.
@@ -372,6 +406,11 @@ class ClusterSimulator:
                 qed = QedReport(mode="node")
             for arrival in arrivals:
                 now = arrival.time_s
+                if tracing:
+                    tracer.arrival(arrival.sql, now)
+                if metrics is not None:
+                    self._sample_metrics_until(now)
+                    metrics.counter("arrivals").inc()
                 if active:
                     self._advance_faults(now)
                 for node in queued:  # timeout-based QED dispatches
@@ -403,6 +442,14 @@ class ClusterSimulator:
                             workload_class, qed,
                         )
                 else:
+                    if tracing and decision.dispatch_s - now > 1e-12:
+                        # Admission delay (power-cap headroom wait).
+                        tracer.span(
+                            "queue-wait", MASTER_TRACK, now,
+                            decision.dispatch_s,
+                            parent=tracer.parent_of(arrival.sql, now),
+                            sql=arrival.sql,
+                        )
                     node.assign(
                         arrival.sql, decision.dispatch_s,
                         service_by_node[node.spec.name],
@@ -427,6 +474,46 @@ class ClusterSimulator:
             horizon = max(horizon, node.busy_until)
             if node.awake:
                 horizon = max(horizon, node.wake_ready_s)
+
+        if tracing:
+            # Timeline spans are emitted post-hoc from the node logs --
+            # the hot loop never touches the tracer for them.  Every
+            # served query gets its terminal here; under an active
+            # fault plan the shed list is exactly the dead-letter set
+            # (terminals already emitted at dead-letter time), so the
+            # shed pass below covers fault-free refusals only.
+            for node in self.nodes:
+                track = node.spec.name
+                for t in node.failed_wakes:
+                    tracer.instant("wake-failure", track, t)
+                for called, ready in node.wake_log:
+                    tracer.span("wake", track, called, ready)
+                for start, end in node.sleep_spans(horizon):
+                    tracer.span("sleep", track, start, end)
+                for work in node.scheduled:
+                    window_id = tracer.span(
+                        "playback", track, work.start_s, work.end_s,
+                        queries=len(work.queries),
+                        stretch_s=work.stretch_s,
+                    )
+                    for sql, arrival_s in work.queries:
+                        tracer.terminal(
+                            "served", sql, arrival_s, work.end_s,
+                            track=track, window=window_id,
+                        )
+            if not active:
+                for q in shed:
+                    tracer.terminal("shed", q.sql, q.arrival_s,
+                                    q.arrival_s)
+            tracer.finish(horizon)
+        if metrics is not None:
+            self._sample_metrics_until(horizon)
+            response = metrics.histogram("response_s")
+            for node in self.nodes:
+                for work in node.scheduled:
+                    for _sql, arrival_s in work.queries:
+                        response.observe(work.end_s - arrival_s)
+
         pieces_by_node: dict[str, list[CompiledTrace]] = {}
         settings_by_node: dict[str, list[PvcSetting]] = {}
         for node in self.nodes:
@@ -445,6 +532,8 @@ class ClusterSimulator:
             workload_class=workload_class,
             qed=qed,
             faults=report,
+            run_id=run_id,
+            fingerprint=fingerprint,
         )
 
     def _expire_queue(self, node: SimulatedNode, now_s: float):
@@ -460,6 +549,40 @@ class ClusterSimulator:
         # flush (not tick): float addition noise in the expiry must not
         # leave the policy un-fired and the batch stranded.
         return node.queue.flush(expiry)
+
+    # -- streaming metrics -------------------------------------------------
+
+    def _sample_metrics_until(self, now_s: float) -> None:
+        """Snapshot the registry at every window boundary <= ``now_s``
+        (the same ``k * window_s`` tiling ``window_report`` slices on)."""
+        while self._next_sample_s <= now_s + 1e-12:
+            self._sample_metrics(self._next_sample_s)
+            self._next_sample_s += self.metrics.window_s
+
+    def _sample_metrics(self, t_s: float) -> None:
+        """Read the live fleet state into the gauges and snapshot."""
+        reg = self.metrics
+        awake = 0
+        for node in self.nodes:
+            name = node.spec.name
+            reg.gauge(f"node_watts.{name}").set(node.modeled_power_w(t_s))
+            if node.awake:
+                awake += 1
+            if node.queue is not None:
+                reg.gauge(f"queue_depth.node:{name}").set(
+                    float(len(node.queue))
+                )
+        reg.gauge("awake_nodes").set(float(awake))
+        if self.master_queue is not None:
+            depths = self.master_queue.depths()
+            reg.gauge("master_queue_depth").set(
+                float(sum(depths.values()))
+            )
+            for label, depth in depths.items():
+                reg.gauge(f"queue_depth.{label}").set(float(depth))
+        if self._fault_active:
+            reg.gauge("retry_backlog").set(float(len(self._retries)))
+        reg.sample(t_s)
 
     # -- fault injection & recovery ---------------------------------------
 
@@ -490,10 +613,19 @@ class ClusterSimulator:
         at_s, _, kind, node, spec = heapq.heappop(self._fault_events)
         if kind == "recover":
             node.recover(at_s)
+            if self.tracer.enabled:
+                self.tracer.instant("recover", node.spec.name, at_s)
             return
         if node.crashed_s is not None:
             return  # already down; an overlapping crash is absorbed
         lost, wasted = node.crash(at_s)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "crash", node.spec.name, at_s,
+                lost=len(lost), wasted_s=wasted,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("crashes").inc()
         report = self._fault_report
         report.crashes += 1
         report.wasted_busy_s += wasted
@@ -522,6 +654,14 @@ class ClusterSimulator:
         heapq.heappush(
             self._retries, (ready, self._retry_seq, sql, arrival_s, attempt)
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "retry", MASTER_TRACK, now_s,
+                parent=self.tracer.parent_of(sql, arrival_s),
+                sql=sql, attempt=attempt, ready_s=ready,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("retries").inc()
         report = self._fault_report
         report.retries += 1
         if requeue:
@@ -554,6 +694,13 @@ class ClusterSimulator:
         if self.retry.exhausted(attempt):
             shed.append(ShedQuery(sql, arrival_s))
             self._fault_report.dead_lettered += 1
+            if self.tracer.enabled:
+                self.tracer.terminal(
+                    "dead-letter", sql, arrival_s, ready_s,
+                    attempt=attempt,
+                )
+            if self.metrics is not None:
+                self.metrics.counter("dead_lettered").inc()
             return
         self._push_retry(sql, arrival_s, ready_s, attempt + 1,
                          requeue=False)
@@ -621,8 +768,15 @@ class ClusterSimulator:
         self.master_queue.reset()
         placement = self.master_queue.placement
         placement.prepare(self.router, self.nodes)
+        tracer = self.tracer
+        metrics = self.metrics
         for arrival in arrivals:
             now = arrival.time_s
+            if tracer.enabled:
+                tracer.arrival(arrival.sql, now)
+            if metrics is not None:
+                self._sample_metrics_until(now)
+                metrics.counter("arrivals").inc()
             if self._fault_active:
                 self._advance_faults(now)
             for dispatched in self.master_queue.expired(now):
@@ -655,6 +809,11 @@ class ClusterSimulator:
         batch = dispatched.batch
         stats = self._qed_stats_for(qed, dispatched.partition)
         self._record_dispatch(stats, batch)
+        if self.tracer.enabled:
+            self.tracer.dispatch(dispatched.partition, batch)
+        if self.metrics is not None:
+            self.metrics.counter("qed_batches").inc()
+            self.metrics.histogram("batch_size").observe(batch.size)
         merged = None
         if dispatched.mergeable and batch.size > 1:
             merged = merge_queries(batch.sqls)
@@ -698,6 +857,11 @@ class ClusterSimulator:
         """Serve one per-node queue dispatch (stats keyed by node)."""
         stats = self._qed_stats_for(qed, f"node:{node.spec.name}")
         self._record_dispatch(stats, batch)
+        if self.tracer.enabled:
+            self.tracer.dispatch(f"node:{node.spec.name}", batch)
+        if self.metrics is not None:
+            self.metrics.counter("qed_batches").inc()
+            self.metrics.histogram("batch_size").observe(batch.size)
         self._schedule_batch(
             node, batch, table, durations, workload_class, stats=stats,
         )
@@ -809,10 +973,14 @@ class ClusterSimulator:
         service = self._duration_for(
             node, key, table, durations, workload_class
         )
-        node.assign(
+        work = node.assign(
             key, batch.dispatch_s, service,
             tuple((q.sql, q.arrival_s) for q in batch.queries),
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "merge", node.spec.name, work.start_s, size=batch.size,
+            )
         if stats is not None:
             stats.merged_windows += 1
 
@@ -910,6 +1078,8 @@ class ClusterSimulator:
             cap_w=schedule.cap_w,
             qed=schedule.qed,
             faults=schedule.faults,
+            run_id=schedule.run_id,
+            fingerprint=schedule.fingerprint,
         )
 
     def run(self, arrivals: list[Arrival],

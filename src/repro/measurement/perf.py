@@ -234,6 +234,18 @@ class ClusterPerfComparison:
     batched_wall_joules: float
     loop_wall_joules: float
     max_rel_diff: float
+    #: Config fingerprint hash of the scheduled run (bench history
+    #: entries become attributable to their exact configuration).
+    run_id: str | None = None
+    #: Warm re-run of the untraced schedule (same sim, same caches) --
+    #: the fair denominator for the tracing-overhead ratio.
+    untraced_rerun_wall_s: float = 0.0
+    #: The same schedule with a SpanTracer attached.
+    traced_schedule_wall_s: float = 0.0
+    traced_spans: int = 0
+    #: Worst per-node playback deviation of the traced run vs the
+    #: untraced batched run -- tracing must never perturb energies.
+    traced_max_rel_diff: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -248,10 +260,23 @@ class ClusterPerfComparison:
             / (self.schedule_wall_s + self.batched_wall_s)
         )
 
+    @property
+    def tracing_overhead(self) -> float:
+        """Schedule-phase slowdown with tracing *enabled*, against the
+        warm untraced re-run (the disabled path is gated separately by
+        the ``cluster_scaling`` bench trend)."""
+        if self.untraced_rerun_wall_s <= 0:
+            return 0.0
+        return (
+            self.traced_schedule_wall_s / self.untraced_rerun_wall_s
+            - 1.0
+        )
+
     def to_dict(self) -> dict:
         out = asdict(self)
         out["speedup"] = self.speedup
         out["end_to_end_speedup"] = self.end_to_end_speedup
+        out["tracing_overhead"] = self.tracing_overhead
         return out
 
 
@@ -286,6 +311,29 @@ def compare_cluster_playback(
             y = getattr(b.playback, key)
             worst = max(worst, abs(x - y) / (abs(x) or 1.0))
 
+    # Tracing pass on the same (warm) simulator: re-time the untraced
+    # schedule first so the overhead ratio compares warm to warm, then
+    # schedule again with spans on and check playback is unperturbed.
+    from repro.obs import NULL_TRACER, SpanTracer
+
+    start = time.perf_counter()
+    sim.schedule(arrivals)
+    untraced_rerun_wall = time.perf_counter() - start
+
+    tracer = SpanTracer()
+    sim.tracer = tracer
+    start = time.perf_counter()
+    traced_schedule = sim.schedule(arrivals)
+    traced_schedule_wall = time.perf_counter() - start
+    sim.tracer = NULL_TRACER
+    traced = sim.playback(traced_schedule, mode="batched")
+    traced_worst = 0.0
+    for a, b in zip(batched.nodes, traced.nodes):
+        for key in ("wall_joules", "cpu_joules", "duration_s"):
+            x = getattr(a.playback, key)
+            y = getattr(b.playback, key)
+            traced_worst = max(traced_worst, abs(x - y) / (abs(x) or 1.0))
+
     return ClusterPerfComparison(
         nodes=len(specs),
         arrivals=len(arrivals),
@@ -298,6 +346,11 @@ def compare_cluster_playback(
         batched_wall_joules=batched.wall_joules,
         loop_wall_joules=loop.wall_joules,
         max_rel_diff=worst,
+        run_id=schedule.run_id,
+        untraced_rerun_wall_s=untraced_rerun_wall,
+        traced_schedule_wall_s=traced_schedule_wall,
+        traced_spans=len(tracer.spans),
+        traced_max_rel_diff=traced_worst,
     )
 
 
@@ -645,6 +698,7 @@ def run_qed_ablation(
                                master_queue=master_queue)
         m = sim.run(stream)
         stats = {
+            "run_id": m.run_id,
             "wall_joules": m.wall_joules,
             "edp": m.edp,
             "horizon_s": m.horizon_s,
@@ -702,6 +756,7 @@ def run_diurnal_ablation(
         measurement = sim.playback(scheduled, mode="batched")
         batched_wall = time.perf_counter() - start
         policies[name] = {
+            "run_id": measurement.run_id,
             "wall_joules": measurement.wall_joules,
             "edp": measurement.edp,
             "awake_node_s": measurement.awake_node_s,
@@ -940,6 +995,7 @@ def run_fault_ablation(
         )
         report = m.faults
         modes[name] = {
+            "run_id": m.run_id,
             "wall_joules": m.wall_joules,
             "edp": m.edp,
             "horizon_s": m.horizon_s,

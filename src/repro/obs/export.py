@@ -1,0 +1,218 @@
+"""Trace exporters: JSONL and Chrome/Perfetto ``trace_event`` JSON.
+
+Two on-disk shapes for the same trace:
+
+*JSONL* -- line 1 is the run's metadata record (``type: "meta"``:
+run-id, config fingerprint, energy attribution, measurement summary);
+every following line is one span/instant dict.  The machine-friendly
+form ``python -m repro obs report`` and the CI schema check consume.
+
+*Chrome trace_event JSON* -- a ``{"traceEvents": [...]}`` document that
+loads directly in ``chrome://tracing`` or https://ui.perfetto.dev: one
+process (pid 1), one named thread per track (tid 0 = master, nodes
+sorted after), ``"X"`` complete events for duration spans, ``"i"``
+instants, timestamps in microseconds.  The run metadata rides in the
+document's top-level ``"metadata"`` key, so a Perfetto trace is also a
+self-describing report input.
+
+:func:`write_trace` picks the format from the file extension
+(``.jsonl`` -> JSONL, anything else -> Chrome JSON);
+:func:`load_trace` sniffs the content, so the report command accepts
+either.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.report import RECONCILE_TOLERANCE, energy_attribution
+from repro.obs.tracer import MASTER_TRACK, SpanTracer, TERMINAL_PHASES
+
+TRACE_FORMAT = "repro-obs-trace"
+TRACE_VERSION = 1
+
+
+def trace_metadata(tracer: SpanTracer, measurement=None) -> dict:
+    """The self-describing meta record embedded in every export."""
+    meta = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "horizon_s": tracer.horizon_s,
+        "spans": len(tracer.spans),
+    }
+    meta.update(tracer.metadata)
+    if measurement is not None:
+        meta["attribution"] = energy_attribution(measurement)
+        meta["summary"] = measurement.summary()
+    return meta
+
+
+def export_jsonl(path: str, tracer: SpanTracer,
+                 measurement=None) -> dict:
+    """Write the trace as JSONL; returns the meta record."""
+    meta = trace_metadata(tracer, measurement)
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"type": "meta", **meta}) + "\n")
+        for span in tracer.spans:
+            handle.write(json.dumps(span.to_dict()) + "\n")
+    return meta
+
+
+def _track_tids(tracks: list[str]) -> dict[str, int]:
+    return {track: tid for tid, track in enumerate(tracks)}
+
+
+def export_chrome(path: str, tracer: SpanTracer,
+                  measurement=None) -> dict:
+    """Write the trace as Chrome/Perfetto ``trace_event`` JSON."""
+    meta = trace_metadata(tracer, measurement)
+    tids = _track_tids(tracer.tracks)
+    events: list[dict] = [{
+        "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+        "args": {"name": f"repro cluster {meta.get('run_id', '')}"},
+    }]
+    for track, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": track},
+        })
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": tid},
+        })
+    for span in tracer.spans:
+        args = dict(span.args, id=span.span_id)
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        common = {
+            "pid": 1,
+            "tid": tids[span.track],
+            "name": span.name,
+            "cat": "cluster",
+            "ts": span.start_s * 1e6,
+            "args": args,
+        }
+        if span.is_instant:
+            events.append({"ph": "i", "s": "t", **common})
+        else:
+            events.append({
+                "ph": "X", "dur": span.duration_s * 1e6, **common,
+            })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": meta,
+    }
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+    return meta
+
+
+def write_trace(path: str, tracer: SpanTracer,
+                measurement=None) -> dict:
+    """Export in the format the extension implies (.jsonl or Chrome)."""
+    if path.endswith(".jsonl"):
+        return export_jsonl(path, tracer, measurement)
+    return export_chrome(path, tracer, measurement)
+
+
+def write_metrics(path: str, registry) -> dict:
+    doc = registry.to_dict()
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2)
+    return doc
+
+
+# -- loading ---------------------------------------------------------------
+
+
+def _load_chrome(doc: dict) -> tuple[dict, list[dict]]:
+    meta = doc.get("metadata", {})
+    names: dict[int, str] = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event.get("tid", 0)] = event["args"]["name"]
+    spans: list[dict] = []
+    for event in doc.get("traceEvents", []):
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        start = event.get("ts", 0.0) / 1e6
+        end = start + (event.get("dur", 0.0) / 1e6 if ph == "X" else 0.0)
+        args = dict(event.get("args", {}))
+        spans.append({
+            "type": "instant" if ph == "i" else "span",
+            "id": args.pop("id", None),
+            "parent": args.pop("parent", None),
+            "name": event.get("name", ""),
+            "track": names.get(event.get("tid", 0), MASTER_TRACK),
+            "start_s": start,
+            "end_s": end,
+            "args": args,
+        })
+    return meta, spans
+
+
+def load_trace(path: str) -> tuple[dict, list[dict]]:
+    """(meta, spans) from either export format (content-sniffed)."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty trace file")
+    first_line = stripped.splitlines()[0]
+    try:
+        head = json.loads(first_line)
+    except json.JSONDecodeError:
+        head = None
+    if isinstance(head, dict) and head.get("type") == "meta":
+        meta = {k: v for k, v in head.items() if k != "type"}
+        spans = [
+            json.loads(line)
+            for line in stripped.splitlines()[1:] if line.strip()
+        ]
+        return meta, spans
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(
+            f"{path}: neither JSONL (meta first line) nor Chrome "
+            "trace_event JSON"
+        )
+    return _load_chrome(doc)
+
+
+def validate_trace(meta: dict, spans: list[dict]) -> list[str]:
+    """Schema + invariant errors in a loaded trace ([] = valid)."""
+    errors: list[str] = []
+    if meta.get("format") != TRACE_FORMAT:
+        errors.append(f"meta.format != {TRACE_FORMAT!r}")
+    for key in ("run_id", "fingerprint", "horizon_s"):
+        if key not in meta:
+            errors.append(f"meta missing {key!r}")
+    for i, span in enumerate(spans):
+        for key in ("name", "track", "start_s", "end_s"):
+            if key not in span:
+                errors.append(f"span {i}: missing {key!r}")
+                break
+        else:
+            if span["end_s"] < span["start_s"]:
+                errors.append(f"span {i}: end_s before start_s")
+            if span["name"] in TERMINAL_PHASES:
+                args = span.get("args", {})
+                if "sql" not in args or "arrival_s" not in args:
+                    errors.append(
+                        f"span {i}: terminal without sql/arrival_s"
+                    )
+    attribution = meta.get("attribution")
+    if attribution is not None:
+        for key in ("nodes", "phase_totals", "modeled_wall_joules",
+                    "reconciliation_abs_j"):
+            if key not in attribution:
+                errors.append(f"attribution missing {key!r}")
+        rel = attribution.get("reconciliation_rel")
+        if rel is not None and rel > RECONCILE_TOLERANCE:
+            errors.append(
+                f"energy attribution does not reconcile: rel error "
+                f"{rel:.3e} > {RECONCILE_TOLERANCE:.0e}"
+            )
+    return errors

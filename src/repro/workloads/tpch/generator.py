@@ -282,4 +282,7 @@ def tpch_database(scale_factor: float, profile=None, seed: int = 0,
     """A loaded TPC-H database (public API convenience)."""
     db = Database(profile)
     load_tpch(db, scale_factor, seed, tables)
+    # Recorded for run fingerprinting (repro.obs) -- the Database itself
+    # is scale-agnostic, but a run's identity is not.
+    db.scale_factor = scale_factor
     return db
