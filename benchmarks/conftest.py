@@ -32,13 +32,22 @@ ARTIFACT_MIN_SF = 0.05
 
 
 def write_bench_artifact(updates: dict) -> Path:
-    """Merge ``updates`` into the perf artifact (each bench owns its keys)."""
+    """Merge ``updates`` into the perf artifact (each bench owns its keys).
+
+    Dict values merge one level deep, so two tests contributing to the
+    same top-level record (e.g. ``cluster_scaling``'s playback and
+    scheduler halves) extend it instead of clobbering each other.
+    """
     out = (
         BENCH_JSON if BENCH_SF >= ARTIFACT_MIN_SF
         else Path(tempfile.gettempdir()) / "BENCH_perf_smoke.json"
     )
     record = json.loads(out.read_text()) if out.exists() else {}
-    record.update(updates)
+    for key, value in updates.items():
+        if isinstance(value, dict) and isinstance(record.get(key), dict):
+            record[key].update(value)
+        else:
+            record[key] = value
     out.write_text(json.dumps(record, indent=2))
     return out
 

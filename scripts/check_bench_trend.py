@@ -35,6 +35,7 @@ from pathlib import Path
 DEFAULT_KEYS = (
     "speedup_cached",
     "cluster_scaling.speedup",
+    "cluster_scaling.sched_speedup",
     "diurnal.hetero_speedup",
     "qed.master_vs_node_saving",
     "qed.node_vs_off_saving",
@@ -75,6 +76,10 @@ CONFIG_FIELDS = {
     "speedup_cached": ("scale_factor", "num_queries", "repeats"),
     "cluster_scaling.speedup": (
         "cluster_scaling.nodes", "cluster_scaling.arrivals",
+        "cluster_scaling.scale_factor",
+    ),
+    "cluster_scaling.sched_speedup": (
+        "cluster_scaling.sched_nodes", "cluster_scaling.sched_arrivals",
         "cluster_scaling.scale_factor",
     ),
     "diurnal.hetero_speedup": (

@@ -49,9 +49,17 @@ run_perf() {
     echo "== perf smoke bench (SF ${REPRO_BENCH_SF:-0.01}) =="
     REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
         python -m pytest benchmarks/bench_perf_pipeline.py -x -q
-    echo "== perf trend gate (sweep) =="
+    echo "== vectorized event core smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_SCALING_NODES="${REPRO_BENCH_SCALING_NODES:-32}" \
+    REPRO_BENCH_SCALING_ARRIVALS="${REPRO_BENCH_SCALING_ARRIVALS:-100000}" \
+    REPRO_BENCH_SCALING_COMPARE_ARRIVALS="${REPRO_BENCH_SCALING_COMPARE_ARRIVALS:-20000}" \
+        python -m pytest benchmarks/bench_cluster_scaling.py -x -q \
+            -k "scheduler or million"
+    echo "== perf trend gate (sweep + event core) =="
     python scripts/check_bench_trend.py \
-        --fresh "$SMOKE_JSON" --keys speedup_cached
+        --fresh "$SMOKE_JSON" \
+        --keys speedup_cached cluster_scaling.sched_speedup
 }
 
 run_cluster() {
@@ -59,6 +67,9 @@ run_cluster() {
     REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
     REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
     REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
+    REPRO_BENCH_SCALING_NODES="${REPRO_BENCH_SCALING_NODES:-32}" \
+    REPRO_BENCH_SCALING_ARRIVALS="${REPRO_BENCH_SCALING_ARRIVALS:-100000}" \
+    REPRO_BENCH_SCALING_COMPARE_ARRIVALS="${REPRO_BENCH_SCALING_COMPARE_ARRIVALS:-20000}" \
         python -m pytest benchmarks/bench_cluster_scaling.py -x -q
     echo "== diurnal ablation smoke bench =="
     REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
@@ -75,7 +86,8 @@ run_cluster() {
     echo "== perf trend gate (cluster) =="
     python scripts/check_bench_trend.py \
         --fresh "$SMOKE_JSON" \
-        --keys cluster_scaling.speedup diurnal.hetero_speedup \
+        --keys cluster_scaling.speedup cluster_scaling.sched_speedup \
+               diurnal.hetero_speedup \
                qed.master_vs_node_saving qed.node_vs_off_saving \
                faults.consolidate_vs_spread_saving
 }
@@ -113,6 +125,9 @@ EOF
         REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
         REPRO_BENCH_CLUSTER_NODES="${REPRO_BENCH_CLUSTER_NODES:-16}" \
         REPRO_BENCH_CLUSTER_ARRIVALS="${REPRO_BENCH_CLUSTER_ARRIVALS:-2000}" \
+        REPRO_BENCH_SCALING_NODES="${REPRO_BENCH_SCALING_NODES:-32}" \
+        REPRO_BENCH_SCALING_ARRIVALS="${REPRO_BENCH_SCALING_ARRIVALS:-100000}" \
+        REPRO_BENCH_SCALING_COMPARE_ARRIVALS="${REPRO_BENCH_SCALING_COMPARE_ARRIVALS:-20000}" \
             python -m pytest benchmarks/bench_cluster_scaling.py -x -q
     fi
     # The tracing-disabled hooks ride the schedule()/playback() hot

@@ -15,6 +15,11 @@ Runs four comparisons and records them in one artifact:
   ``REPRO_BENCH_CLUSTER_NODES``/``_ARRIVALS`` override), batched
   fleet playback vs the per-query replay loop, appended under the
   ``cluster_scaling`` key;
+* the scheduler scaling scenario (100 nodes, vectorized event core vs
+  the per-arrival loop at ``REPRO_BENCH_SCALING_COMPARE_ARRIVALS``,
+  plus the vectorized-only 1M-arrival tier,
+  ``REPRO_BENCH_SCALING_NODES``/``_ARRIVALS`` override), merged into
+  the same ``cluster_scaling`` record as ``sched_*``/``tier_*`` keys;
 * the diurnal ablation (four fleet policies on a heterogeneous fleet
   under the day/night rate schedule), appended under ``diurnal``,
   including the heterogeneous batched-vs-loop playback comparison;
@@ -62,6 +67,8 @@ CHECK_GATES = [
     ("max_rel_diff_cold", "max", 1e-9),
     ("cluster_scaling.speedup", "min", 5.0),
     ("cluster_scaling.max_rel_diff", "max", 1e-9),
+    ("cluster_scaling.sched_speedup", "min", 5.0),
+    ("cluster_scaling.sched_max_rel_diff", "max", 1e-9),
     ("diurnal.hetero_speedup", "min", 5.0),
     ("diurnal.hetero_max_rel_diff", "max", 1e-9),
     ("diurnal.dynamic_beats_spread", "true", None),
@@ -121,13 +128,18 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.db.profiles import mysql_profile
     from repro.hardware.profiles import paper_sut
+    from repro.cluster import RoundRobinRouter
     from repro.measurement.perf import (
         cluster_scaling_scenario,
         compare_cluster_playback,
+        compare_cluster_scheduling,
         compare_sweep_paths,
         run_diurnal_ablation,
         run_fault_ablation,
         run_qed_ablation,
+        scheduler_compare_arrivals,
+        scheduler_scaling_scenario,
+        time_vectorized_tier,
     )
     from repro.workloads.runner import TraceCache
     from repro.workloads.selection import SelectionWorkload
@@ -182,6 +194,33 @@ def main(argv: list[str] | None = None) -> int:
     print(f"playback speedup      : {cluster.speedup:.1f}x "
           f"(end-to-end {cluster.end_to_end_speedup:.1f}x)")
     print(f"max energy deviation  : {cluster.max_rel_diff:.2e} (relative)")
+
+    sched_specs, _r, sched_stream = scheduler_scaling_scenario(
+        count=scheduler_compare_arrivals()
+    )
+    print(f"\nevent core            : {len(sched_specs)} nodes x "
+          f"{len(sched_stream)} arrivals")
+    sched = compare_cluster_scheduling(
+        db, sched_specs, RoundRobinRouter, sched_stream,
+        scale_factor=args.sf, trace_cache=trace_cache,
+    )
+    print(f"legacy schedule       : "
+          f"{sched.legacy_schedule_wall_s:8.3f} s")
+    print(f"vectorized schedule   : "
+          f"{sched.vectorized_schedule_wall_s:8.3f} s")
+    print(f"scheduler speedup     : {sched.sched_speedup:.1f}x "
+          f"(end-to-end {sched.end_to_end_speedup:.1f}x)")
+    print(f"max energy deviation  : {sched.max_rel_diff:.2e} (relative)")
+
+    tier_specs, tier_router, tier_stream = scheduler_scaling_scenario()
+    tier = time_vectorized_tier(
+        db, tier_specs, tier_router, tier_stream,
+        scale_factor=args.sf, trace_cache=trace_cache,
+    )
+    print(f"vectorized tier       : {tier.nodes} nodes x "
+          f"{tier.arrivals} arrivals in {tier.total_wall_s:.2f} s "
+          f"(schedule {tier.schedule_wall_s:.2f} s, "
+          f"playback {tier.playback_wall_s:.2f} s)")
 
     diurnal = run_diurnal_ablation(
         db, scale_factor=args.sf, trace_cache=trace_cache
@@ -240,6 +279,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     record.update(comparison.to_dict())
     record["cluster_scaling"] = cluster.to_dict()
+    record["cluster_scaling"].update({
+        "sched_speedup": sched.sched_speedup,
+        "sched_end_to_end_speedup": sched.end_to_end_speedup,
+        "sched_nodes": sched.nodes,
+        "sched_arrivals": sched.arrivals,
+        "sched_legacy_wall_s": sched.legacy_schedule_wall_s,
+        "sched_vectorized_wall_s": sched.vectorized_schedule_wall_s,
+        "sched_max_rel_diff": sched.max_rel_diff,
+        "sched_run_id": sched.run_id,
+        "tier_nodes": tier.nodes,
+        "tier_arrivals": tier.arrivals,
+        "tier_schedule_wall_s": tier.schedule_wall_s,
+        "tier_playback_wall_s": tier.playback_wall_s,
+        "tier_total_wall_s": tier.total_wall_s,
+        "tier_run_id": tier.run_id,
+    })
     record["diurnal"] = diurnal.to_dict()
     record["qed"] = qed.to_dict()
     record["faults"] = faults.to_dict()
@@ -252,6 +307,9 @@ def main(argv: list[str] | None = None) -> int:
         and comparison.max_rel_diff_cold <= 1e-9
         and cluster.speedup >= 5.0
         and cluster.max_rel_diff <= 1e-9
+        and sched.sched_speedup >= 5.0
+        and sched.max_rel_diff <= 1e-9
+        and sched.dispatch_match
         and diurnal.hetero_speedup >= 5.0
         and diurnal.hetero_max_rel_diff <= 1e-9
         and diurnal.dynamic_beats_spread

@@ -186,6 +186,7 @@ def cmd_cluster(args) -> int:
         ConsolidateRouter,
         DynamicConsolidateRouter,
         HashSplitPlacement,
+        HashSplitRouter,
         LeastLoadedPlacement,
         LeastLoadedRouter,
         MasterQueue,
@@ -264,6 +265,15 @@ def cmd_cluster(args) -> int:
         print("error: --retry-max/--retry-backoff tune the fault "
               "recovery policy and need --faults", file=sys.stderr)
         return 2
+    if args.scheduler == "vectorized" and args.playback == "loop":
+        print("error: --playback loop replays per-piece timelines the "
+              "vectorized scheduler never materializes; use "
+              "--scheduler auto|legacy", file=sys.stderr)
+        return 2
+    if args.trace_store != "npz" and args.trace_cache is None:
+        print("error: --trace-store picks the --trace-cache layout and "
+              "needs --trace-cache DIR", file=sys.stderr)
+        return 2
     # Validate every flag-derived object *before* the expensive
     # database build so bad flags fail fast with a clean message.
     try:
@@ -273,6 +283,8 @@ def cmd_cluster(args) -> int:
             router = RoundRobinRouter()
         elif args.policy == "least":
             router = LeastLoadedRouter()
+        elif args.policy == "hash":
+            router = HashSplitRouter()
         elif args.policy == "consolidate":
             router = ConsolidateRouter(max_backlog_s=args.max_backlog)
         elif args.policy == "dynamic":
@@ -311,11 +323,8 @@ def cmd_cluster(args) -> int:
             )
         if args.window is not None and args.window <= 0:
             raise ValueError("--window must be positive")
-        if not stream:
-            raise ValueError(
-                "the load profile produced no arrivals "
-                "(check --arrivals / the rate flags)"
-            )
+        # An empty stream is a valid (if degenerate) run: the simulator
+        # returns a well-formed zero-arrival measurement.
         fault_plan = None
         retry = None
         if args.faults is not None:
@@ -353,16 +362,20 @@ def cmd_cluster(args) -> int:
                        tables=["lineitem"])
     trace_cache = (
         TraceCache.for_workload(args.trace_cache, "mysql", args.sf,
-                                seed=0, tables=("lineitem",))
+                                seed=0, tables=("lineitem",),
+                                columnar=args.trace_store == "columnar")
         if args.trace_cache else None
     )
     sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache,
                            master_queue=master_queue, faults=fault_plan,
                            retry=retry, tracer=tracer, metrics=metrics)
+    vectorized = {"auto": None, "vectorized": True,
+                  "legacy": False}[args.scheduler]
     try:
-        m = sim.run(stream, mode=args.playback)
+        m = sim.run(stream, mode=args.playback, vectorized=vectorized)
     except ValueError as exc:
-        # e.g. a power cap below the fleet's idle floor
+        # e.g. a power cap below the fleet's idle floor, or --scheduler
+        # vectorized on a configuration the fast path cannot express
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -545,8 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distinct", type=int, default=20,
                    help="distinct selection queries cycled by arrivals")
     p.add_argument("--policy",
-                   choices=("spread", "least", "consolidate", "dynamic",
-                            "adaptive", "powercap"),
+                   choices=("spread", "least", "hash", "consolidate",
+                            "dynamic", "adaptive", "powercap"),
                    default="spread")
     p.add_argument("--profile",
                    choices=("poisson", "uniform", "bursty", "diurnal",
@@ -623,8 +636,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "doubling per attempt (default 1.0)")
     p.add_argument("--playback", choices=("batched", "loop"),
                    default="batched")
+    p.add_argument("--scheduler",
+                   choices=("auto", "vectorized", "legacy"),
+                   default="auto",
+                   help="event core: auto picks the vectorized chunked "
+                        "path when the configuration allows it, "
+                        "vectorized demands it (errors otherwise), "
+                        "legacy forces the per-arrival loop "
+                        "(--playback loop implies legacy)")
     p.add_argument("--trace-cache", default=None, metavar="DIR",
                    help="persist compiled traces across processes")
+    p.add_argument("--trace-store", choices=("npz", "columnar"),
+                   default="npz",
+                   help="--trace-cache layout: one .npz file per trace, "
+                        "or the shared memory-mapped columnar container "
+                        "(one append-only file per workload namespace, "
+                        "zero-copy across processes)")
     p.add_argument("--trace", default=None, metavar="TRACE.json",
                    help="export a per-query span trace: .jsonl is "
                         "line-delimited, anything else is Chrome "

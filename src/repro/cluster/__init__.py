@@ -38,6 +38,7 @@ from repro.cluster.measure import (
     QedPartitionStats,
     QedReport,
     QueryResponse,
+    ResponseColumns,
     ShedQuery,
 )
 from repro.cluster.node import (
@@ -48,7 +49,12 @@ from repro.cluster.node import (
     hetero_fleet,
     uniform_fleet,
 )
-from repro.cluster.playback import play_batched, play_loop, playback_groups
+from repro.cluster.playback import (
+    play_batched,
+    play_columnar,
+    play_loop,
+    playback_groups,
+)
 from repro.cluster.routing import (
     AdaptivePvcRouter,
     BatchPlacement,
@@ -57,13 +63,18 @@ from repro.cluster.routing import (
     Decision,
     DynamicConsolidateRouter,
     HashSplitPlacement,
+    HashSplitRouter,
     LeastLoadedPlacement,
     LeastLoadedRouter,
     PowerCapRouter,
     RoundRobinRouter,
     Router,
 )
-from repro.cluster.simulator import ClusterSchedule, ClusterSimulator
+from repro.cluster.simulator import (
+    ClusterSchedule,
+    ClusterSimulator,
+    ColumnarSchedule,
+)
 
 __all__ = [
     "AdaptivePvcRouter",
@@ -71,6 +82,7 @@ __all__ = [
     "ClusterMeasurement",
     "ClusterSchedule",
     "ClusterSimulator",
+    "ColumnarSchedule",
     "ConsolidatePlacement",
     "ConsolidateRouter",
     "Decision",
@@ -80,6 +92,7 @@ __all__ = [
     "FaultReport",
     "FaultSpec",
     "HashSplitPlacement",
+    "HashSplitRouter",
     "LeastLoadedPlacement",
     "LeastLoadedRouter",
     "MasterQueue",
@@ -92,6 +105,7 @@ __all__ = [
     "QedPartitionStats",
     "QedReport",
     "QueryResponse",
+    "ResponseColumns",
     "RetryPolicy",
     "RoundRobinRouter",
     "Router",
@@ -101,6 +115,7 @@ __all__ = [
     "hetero_fleet",
     "load_fault_plan",
     "play_batched",
+    "play_columnar",
     "play_loop",
     "playback_groups",
     "uniform_fleet",

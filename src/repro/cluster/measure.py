@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import Iterator
 
 import numpy as np
 
@@ -210,6 +211,49 @@ class FaultReport:
         }
 
 
+@dataclass(frozen=True)
+class ResponseColumns:
+    """Served queries in structure-of-arrays form (vectorized playback).
+
+    The columnar analogue of a measurement's ``responses`` list, sorted
+    by (arrival, completion): per-query arrays plus the distinct-template
+    and node-name tables the index columns point into.  A 1M-arrival run
+    cannot afford per-query objects, so every consumer -- percentiles,
+    SLA accounting, phase windows -- reads these arrays directly.
+    """
+
+    distinct: tuple[str, ...]
+    node_names: tuple[str, ...]
+    sql_idx: np.ndarray
+    node_idx: np.ndarray
+    arrival_s: np.ndarray
+    start_s: np.ndarray
+    completion_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.arrival_s)
+
+    @property
+    def response_s(self) -> np.ndarray:
+        """Full sojourn time per query: arrival to completion."""
+        return self.completion_s - self.arrival_s
+
+    def iter_responses(self):
+        """Materialize :class:`QueryResponse` objects row by row.
+
+        For identity tests and small-run inspection only -- the point
+        of the columnar form is that large runs never do this.
+        """
+        for k in range(len(self.arrival_s)):
+            yield QueryResponse(
+                sql=self.distinct[int(self.sql_idx[k])],
+                node=self.node_names[int(self.node_idx[k])],
+                arrival_s=float(self.arrival_s[k]),
+                start_s=float(self.start_s[k]),
+                completion_s=float(self.completion_s[k]),
+            )
+
+
 @dataclass
 class NodeUsage:
     """One node's share of a cluster run.
@@ -218,6 +262,8 @@ class NodeUsage:
     sleep spans, wake transitions, each as ``(start_s, end_s)`` pairs)
     plus its linear power envelope, so phase-sliced reporting can
     attribute modeled energy to arbitrary time windows after the fact.
+    A vectorized run carries its busy windows as a ``(starts, ends)``
+    array pair in ``busy_columns`` instead of materializing tuples.
     """
 
     name: str
@@ -235,6 +281,7 @@ class NodeUsage:
     idle_wall_w: float = 0.0
     busy_wall_w: float = 0.0
     sleep_wall_w: float = 0.0
+    busy_columns: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def idle_s(self) -> float:
@@ -322,6 +369,17 @@ def _overlap(spans, lo: float, hi: float) -> float:
     )
 
 
+def _overlap_columns(
+    starts: np.ndarray, ends: np.ndarray, lo: float, hi: float
+) -> float:
+    """Vectorized :func:`_overlap` for SoA ``(starts, ends)`` windows."""
+    return float(
+        np.clip(
+            np.minimum(ends, hi) - np.maximum(starts, lo), 0.0, None
+        ).sum()
+    )
+
+
 @dataclass
 class ClusterMeasurement:
     """A completed cluster simulation: energy, time, and service quality."""
@@ -339,6 +397,10 @@ class ClusterMeasurement:
     #: simulator so reports and bench history are attributable.
     run_id: str | None = None
     fingerprint: dict | None = None
+    #: Vectorized runs keep served queries columnar here and leave
+    #: ``responses`` empty; every consumer below reads whichever form
+    #: is present.
+    response_columns: ResponseColumns | None = None
 
     # -- energy -----------------------------------------------------------
 
@@ -393,17 +455,30 @@ class ClusterMeasurement:
 
     @property
     def served(self) -> int:
+        if self.response_columns is not None:
+            return len(self.response_columns)
         return len(self.responses)
+
+    def iter_responses(self) -> Iterator[QueryResponse]:
+        """Every served query as a :class:`QueryResponse`, whichever
+        form the run produced (columnar runs materialize row by row --
+        identity tests and small-run inspection only)."""
+        if self.response_columns is not None:
+            yield from self.response_columns.iter_responses()
+        else:
+            yield from self.responses
 
     @cached_property
     def _response_values(self) -> np.ndarray:
         """Response times as one array (memoized; every percentile and
         mean reads it, and the measurement is effectively immutable
         once composed)."""
+        if self.response_columns is not None:
+            return self.response_columns.response_s
         return np.array([r.response_s for r in self.responses])
 
     def response_percentile(self, q: float) -> float:
-        if not self.responses:
+        if self.served == 0:
             return 0.0
         return float(np.percentile(self._response_values, q))
 
@@ -421,7 +496,7 @@ class ClusterMeasurement:
 
     @property
     def mean_response_s(self) -> float:
-        if not self.responses:
+        if self.served == 0:
             return 0.0
         return float(self._response_values.mean())
 
@@ -430,7 +505,7 @@ class ClusterMeasurement:
         (a refused query is the hardest SLA miss of all)."""
         if sla_s < 0:
             raise ValueError("sla_s must be non-negative")
-        late = sum(1 for r in self.responses if r.response_s > sla_s)
+        late = int((self._response_values > sla_s).sum())
         return late + len(self.shed)
 
     def sla_split(self, sla_s: float) -> dict[str, float]:
@@ -447,10 +522,17 @@ class ClusterMeasurement:
         affected = self.faults.affected if self.faults else set()
         totals = {True: 0, False: 0}
         met = {True: 0, False: 0}
-        for r in self.responses:
-            side = (r.sql, r.arrival_s) in affected
-            totals[side] += 1
-            met[side] += r.response_s <= sla_s
+        if self.response_columns is not None:
+            # Vectorized runs never carry a fault plan, so every served
+            # query sits on the unaffected side.
+            values = self._response_values
+            totals[False] = int(values.size)
+            met[False] = int((values <= sla_s).sum())
+        else:
+            for r in self.responses:
+                side = (r.sql, r.arrival_s) in affected
+                totals[side] += 1
+                met[side] += r.response_s <= sla_s
         for q in self.shed:
             totals[(q.sql, q.arrival_s) in affected] += 1
         return {
@@ -522,6 +604,18 @@ class ClusterMeasurement:
             max(1, int(np.ceil(self.horizon_s / window_s - 1e-9)))
             if self.horizon_s > 0 else 1
         )
+        # Response times as arrays once, outside the window sweep
+        # (columnar runs already carry them; legacy lists convert
+        # here), so slicing is O(windows x nodes + responses).
+        if self.response_columns is not None:
+            r_arrival = self.response_columns.arrival_s
+            r_completion = self.response_columns.completion_s
+        else:
+            r_arrival = np.array([r.arrival_s for r in self.responses])
+            r_completion = np.array(
+                [r.completion_s for r in self.responses]
+            )
+        r_values = r_completion - r_arrival
         out: list[PhaseWindow] = []
         for k in range(count):
             lo = k * window_s
@@ -537,10 +631,19 @@ class ClusterMeasurement:
             # so an exclusive bound would drop the last query served.
             def inside(t: float) -> bool:
                 return lo <= t < hi or (last and t == hi)
+
+            def inside_mask(t: np.ndarray) -> np.ndarray:
+                mask = (t >= lo) & (t < hi)
+                if last:
+                    mask |= t == hi
+                return mask
             busy = wake = sleep = joules = 0.0
             re_sleeps = 0
             for n in self.nodes:
-                b = _overlap(n.busy_windows, lo, hi)
+                if n.busy_columns is not None:
+                    b = _overlap_columns(*n.busy_columns, lo, hi)
+                else:
+                    b = _overlap(n.busy_windows, lo, hi)
                 w = _overlap(n.wake_spans, lo, hi)
                 s = _overlap(n.sleep_spans, lo, hi)
                 busy += b
@@ -556,18 +659,16 @@ class ClusterMeasurement:
                     1 for start, _ in n.sleep_spans
                     if start > 0.0 and inside(start)
                 )
-            window_responses = [
-                r.response_s for r in self.responses
-                if inside(r.completion_s)
-            ]
-            arrivals = sum(
-                1 for r in self.responses if inside(r.arrival_s)
-            ) + sum(1 for q in self.shed if inside(q.arrival_s))
+            completed = inside_mask(r_completion)
+            window_responses = r_values[completed]
+            arrivals = int(inside_mask(r_arrival).sum()) + sum(
+                1 for q in self.shed if inside(q.arrival_s)
+            )
             out.append(PhaseWindow(
                 start_s=lo,
                 end_s=hi,
                 arrivals=arrivals,
-                served=len(window_responses),
+                served=int(completed.sum()),
                 modeled_joules=joules,
                 awake_node_s=len(self.nodes) * span - sleep,
                 busy_node_s=busy,
@@ -576,7 +677,7 @@ class ClusterMeasurement:
                 re_sleeps=re_sleeps,
                 p95_response_s=(
                     float(np.percentile(window_responses, 95.0))
-                    if window_responses else 0.0
+                    if window_responses.size else 0.0
                 ),
             ))
         return out

@@ -40,6 +40,8 @@ import math
 import zlib
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.node import SimulatedNode
 from repro.core.pvc.adaptive import DEFAULT_LADDER, ladder_step
 from repro.workloads.arrivals import RateSchedule
@@ -55,7 +57,16 @@ class Decision:
 
 
 class Router:
-    """Base policy: all nodes awake, subclass picks the target."""
+    """Base policy: all nodes awake, subclass picks the target.
+
+    Stateless-over-arrivals policies may additionally implement
+    ``route_chunk`` -- the vectorized fast path the simulator uses to
+    route whole structure-of-arrays chunks at once (see
+    :func:`sequence_chunk_on_nodes`).  Policies whose decisions depend
+    on evolving per-arrival state the chunk form cannot express (sleep
+    and wake transitions, EWMA load tracking, power-cap admission)
+    simply omit it and keep the exact per-arrival loop.
+    """
 
     def prepare(self, nodes: list[SimulatedNode]) -> None:
         """Reset per-run state; called once before the event loop."""
@@ -93,6 +104,48 @@ class Router:
         return out
 
 
+def sequence_chunk_on_nodes(
+    times: np.ndarray,
+    service_s: np.ndarray,
+    node_idx: np.ndarray,
+    nodes: list[SimulatedNode],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form FIFO sequencing of an already-routed chunk.
+
+    Given each arrival's target node and service time, computes the
+    start/end times the per-arrival loop's ``node.assign`` recurrence
+    (``end_i = max(t_i, end_{i-1}) + s_i`` per node) produces, without
+    iterating arrivals in Python: with ``S_i = cumsum(s)`` the
+    recurrence solves to ``end_i = S_i + cummax(max(t_i, e0) - S_{i-1})``
+    where ``e0`` is the node's busy horizon entering the chunk.  Each
+    node's ``busy_until`` advances to its last end so consecutive
+    chunks chain exactly.
+    """
+    starts = np.empty_like(times)
+    ends = np.empty_like(times)
+    for j, node in enumerate(nodes):
+        mask = node_idx == j
+        t = times[mask]
+        if t.size == 0:
+            continue
+        s = service_s[mask]
+        csum = np.cumsum(s)
+        anchor = np.maximum(t, node.busy_until) - (csum - s)
+        e = csum + np.maximum.accumulate(anchor)
+        ends[mask] = e
+        # Starts come from the recurrence itself (max of arrival and
+        # the previous end), not ``e - s``: re-deriving the max keeps
+        # back-to-back pieces exactly contiguous where the closed-form
+        # subtraction can land an ulp off and momentarily double-count
+        # the node in power-step sweeps.
+        prev_e = np.empty_like(e)
+        prev_e[0] = node.busy_until
+        prev_e[1:] = e[:-1]
+        starts[mask] = np.maximum(t, prev_e)
+        node.busy_until = float(e[-1])
+    return starts, ends
+
+
 class RoundRobinRouter(Router):
     """Spread placement over time: rotate arrivals across the fleet."""
 
@@ -119,6 +172,16 @@ class RoundRobinRouter(Router):
                     continue
             return Decision(node, now_s)
         return Decision(None, now_s)
+
+    def route_chunk(self, times, sql_idx, service, distinct, nodes):
+        """Vectorized spread: arrival ``k`` lands on ``(next+k) mod N``."""
+        node_idx = (self._next + np.arange(len(times))) % len(nodes)
+        self._next += len(times)
+        service_s = service[sql_idx, node_idx]
+        starts, ends = sequence_chunk_on_nodes(
+            times, service_s, node_idx, nodes
+        )
+        return node_idx, starts, ends
 
 
 def earliest_completion_node(
@@ -156,6 +219,70 @@ class LeastLoadedRouter(Router):
                     continue
             return Decision(node, now_s)
         return Decision(None, now_s)
+
+    def route_chunk(self, times, sql_idx, service, distinct, nodes):
+        """Argmin form of the earliest-completion rule.
+
+        Exact, not approximate: per arrival, the candidate completion
+        vector ``max(busy, t) + service`` is the same float expression
+        the loop sorts on, and ``np.argmin`` returns the *first*
+        minimum -- the stable sort's node-order tie-break.  The state
+        recurrence stays sequential (each choice feeds the next) but
+        runs as O(nodes) array ops per arrival instead of building and
+        sorting a Python candidate list.
+        """
+        busy = np.array([node.busy_until for node in nodes])
+        node_idx = np.empty(len(times), dtype=np.intp)
+        starts = np.empty_like(times)
+        ends = np.empty_like(times)
+        for k in range(len(times)):
+            ready = np.maximum(busy, times[k])
+            completion = ready + service[sql_idx[k]]
+            j = int(np.argmin(completion))
+            node_idx[k] = j
+            starts[k] = ready[j]
+            ends[k] = completion[j]
+            busy[j] = completion[j]
+        for j, node in enumerate(nodes):
+            node.busy_until = float(busy[j])
+        return node_idx, starts, ends
+
+
+class HashSplitRouter(Router):
+    """Template-affinity spread: hash each statement to its home node.
+
+    The routed analogue of QED's :class:`HashSplitPlacement`: a stable
+    hash of the SQL text pins every distinct template to one node, so
+    repeat arrivals of a template always land where its working set is
+    already hot.  All nodes stay awake (like spread); a crashed home
+    node falls through to the next slot in hash order until recovery.
+    """
+
+    def route(self, sql, now_s, service_by_node, nodes) -> Decision:
+        first = _stable_hash(sql) % len(nodes)
+        for k in range(len(nodes)):
+            node = nodes[(first + k) % len(nodes)]
+            if not node.can_serve(now_s):
+                continue
+            if not node.awake:
+                node.wake(now_s)
+                if not node.awake:
+                    continue
+            return Decision(node, now_s)
+        return Decision(None, now_s)
+
+    def route_chunk(self, times, sql_idx, service, distinct, nodes):
+        """Vectorized affinity: hash each template once, then gather."""
+        home = np.array(
+            [_stable_hash(sql) % len(nodes) for sql in distinct],
+            dtype=np.intp,
+        )
+        node_idx = home[sql_idx]
+        service_s = service[sql_idx, node_idx]
+        starts, ends = sequence_chunk_on_nodes(
+            times, service_s, node_idx, nodes
+        )
+        return node_idx, starts, ends
 
 
 class ConsolidateRouter(Router):

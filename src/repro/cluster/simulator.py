@@ -35,8 +35,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
+
+import numpy as np
 
 from repro.cluster.faults import FaultPlan, RetryPolicy
 from repro.cluster.master_queue import DispatchedBatch, MasterQueue
@@ -47,6 +49,7 @@ from repro.cluster.measure import (
     QedPartitionStats,
     QedReport,
     QueryResponse,
+    ResponseColumns,
     ShedQuery,
 )
 from repro.cluster.node import (
@@ -56,7 +59,7 @@ from repro.cluster.node import (
     TimelineAccounting,
     node_timeline_pieces,
 )
-from repro.cluster.playback import play_batched, play_loop
+from repro.cluster.playback import play_batched, play_columnar, play_loop
 from repro.cluster.routing import (
     AdaptivePvcRouter,
     ConsolidatePlacement,
@@ -114,8 +117,47 @@ class NodeTimeline(TimelineAccounting):
 
 
 @dataclass
+class ColumnarSchedule:
+    """Structure-of-arrays form of a vectorized scheduling run.
+
+    One row per arrival, in arrival order: which node it landed on,
+    which distinct template it is, and the start/end the chunked
+    routing recurrence assigned.  ``order``/``offsets`` give each
+    node's rows (``order[offsets[j]:offsets[j+1]]``, arrival-ordered
+    within a node via the stable sort), and ``costed`` carries the
+    schedule phase's pre-costed per-distinct measurements so playback
+    can re-cost the whole fleet as counts-times-measurement dot
+    products without re-playing any trace.
+    """
+
+    distinct: list[str]
+    arrival_s: np.ndarray
+    node_idx: np.ndarray
+    sql_idx: np.ndarray
+    start_s: np.ndarray
+    end_s: np.ndarray
+    order: np.ndarray
+    offsets: np.ndarray
+    costed: dict = field(repr=False, default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.arrival_s)
+
+    def rows_for(self, j: int) -> np.ndarray:
+        """Indices of node ``j``'s arrivals, in arrival order."""
+        return self.order[self.offsets[j]:self.offsets[j + 1]]
+
+
+@dataclass
 class ClusterSchedule:
-    """The event loop's outcome: who runs what, when, on which node."""
+    """The event loop's outcome: who runs what, when, on which node.
+
+    Produced in one of two shapes: the legacy per-arrival loop fills
+    ``pieces_by_node`` (compiled-trace timeline pieces per node); the
+    vectorized fast path fills ``columnar`` instead and leaves the
+    piece maps empty -- at 1M arrivals materializing per-arrival piece
+    objects would cost more than the event loop itself.
+    """
 
     nodes: list[NodeTimeline]
     table: dict[str, CompiledTrace]
@@ -130,9 +172,12 @@ class ClusterSchedule:
     faults: FaultReport | None = None
     run_id: str | None = None
     fingerprint: dict | None = None
+    columnar: ColumnarSchedule | None = None
 
     @property
     def scheduled_pieces(self) -> int:
+        if self.columnar is not None:
+            return len(self.columnar)
         return sum(len(p) for p in self.pieces_by_node.values())
 
 
@@ -291,47 +336,29 @@ class ClusterSimulator:
                 return node.sut
         raise KeyError(hw)  # pragma: no cover - keys come from nodes
 
-    def schedule(self, arrivals: list[Arrival]) -> ClusterSchedule:
-        """Route every arrival; returns the fleet's scheduled timelines."""
-        if not arrivals:
-            raise ValueError("need at least one arrival")
-        arrivals = sorted(arrivals, key=lambda a: a.time_s)
-        workload_class = self.db.workload_class
-
-        # Every run is stamped with a deterministic identity derived
-        # from its full configuration; same config => same run_id.
-        fingerprint = config_fingerprint(
-            [node.spec for node in self.nodes], self.router,
-            master_queue=self.master_queue, faults=self.faults,
-            retry=self.retry, arrivals=arrivals,
-            workload_class=workload_class,
-            scale_factor=getattr(self.db, "scale_factor", None),
-        )
-        run_id = run_id_for(fingerprint)
-        tracer = self.tracer
-        tracing = tracer.enabled
-        if tracing:
-            tracer.begin_run(
-                {"run_id": run_id, "fingerprint": fingerprint}
-            )
-        metrics = self.metrics
-        if metrics is not None:
-            metrics.begin_run(run_id)
-            self._next_sample_s = 0.0
-
-        # Execute-once: each distinct statement hits the database once;
-        # row data is evicted as soon as the trace is compiled.
+    def _execute_once_table(
+        self, arrivals: list[Arrival]
+    ) -> dict[str, CompiledTrace]:
+        """Execute-once: each distinct statement hits the database once;
+        row data is evicted as soon as the trace is compiled."""
         table: dict[str, CompiledTrace] = {}
         for i, sql in enumerate(dict.fromkeys(a.sql for a in arrivals)):
             execution = self.runner.cached_execution(
                 sql, label=f"c{i}", keep_result=False
             )
             table[sql] = execution.compiled_trace()
+        return table
 
-        # Pre-cost each distinct query per (hw, setting) pair: one
-        # stacked call per pair replaces a per-(query, node) loop.
+    def _precost(
+        self, table: dict[str, CompiledTrace], workload_class: str
+    ) -> tuple[dict[CostKey, dict[str, float]], dict[CostKey, list]]:
+        """Pre-cost each distinct query per (hw, setting) pair: one
+        stacked call per pair replaces a per-(query, node) loop.  The
+        full per-distinct measurements ride along so columnar playback
+        can reuse them as counts-times-measurement dot products."""
         distinct = list(table)
         durations: dict[CostKey, dict[str, float]] = {}
+        costed: dict[CostKey, list] = {}
         for hw, setting in self._cost_keys():
             sut = self._sut_for(hw)
             original = sut.setting
@@ -345,6 +372,90 @@ class ClusterSimulator:
             durations[(hw, setting)] = {
                 sql: m.duration_s for sql, m in zip(distinct, batch)
             }
+            costed[(hw, setting)] = batch
+        return durations, costed
+
+    def vectorized_ineligibility(self) -> str | None:
+        """Why this configuration cannot take the vectorized fast path
+        (``None`` when it can).
+
+        The chunked form can only express stateless-over-arrivals
+        routing on an always-awake fleet: no QED queues (master or
+        per-node), no fault/retry interleaving, no tracing or metrics
+        hooks (both sample per arrival), and a router that implements
+        ``route_chunk``.
+        """
+        if self.master_queue is not None:
+            return "a master QED queue batches arrivals statefully"
+        if any(n.spec.queue_policy is not None for n in self.nodes):
+            return "per-node QED queues batch arrivals statefully"
+        if self.faults is not None and not self.faults.empty:
+            return "an active fault plan interleaves crashes and retries"
+        if self.tracer.enabled:
+            return "span tracing records per-arrival events"
+        if self.metrics is not None:
+            return "streaming metrics sample per-arrival fleet state"
+        if not callable(getattr(self.router, "route_chunk", None)):
+            return (
+                f"router {type(self.router).__name__} has no "
+                "route_chunk fast path"
+            )
+        return None
+
+    def schedule(self, arrivals: list[Arrival],
+                 vectorized: bool | None = None) -> ClusterSchedule:
+        """Route every arrival; returns the fleet's scheduled timelines.
+
+        ``vectorized=None`` (the default) takes the chunked fast path
+        whenever the configuration is eligible (see
+        :meth:`vectorized_ineligibility`) and falls back to the exact
+        per-arrival loop otherwise; ``False`` forces the loop (the
+        oracle for identity tests, and the only form ``playback`` can
+        replay in ``loop`` mode); ``True`` demands the fast path and
+        raises when the configuration cannot take it.
+        """
+        reason = self.vectorized_ineligibility()
+        if vectorized is True and reason is not None:
+            raise ValueError(
+                f"vectorized scheduling unavailable: {reason}"
+            )
+        if not arrivals:
+            # NHPP generators legitimately produce empty streams in
+            # low-rate windows; an empty stream is an empty schedule
+            # (zero energy, zero horizon), not an error.
+            return self._schedule_empty()
+        use_fast = (reason is None) if vectorized is None else vectorized
+        arrivals = sorted(arrivals, key=lambda a: a.time_s)
+        workload_class = self.db.workload_class
+
+        # Every run is stamped with a deterministic identity derived
+        # from its full configuration; same config => same run_id.
+        fingerprint = config_fingerprint(
+            [node.spec for node in self.nodes], self.router,
+            master_queue=self.master_queue, faults=self.faults,
+            retry=self.retry, arrivals=arrivals,
+            workload_class=workload_class,
+            scale_factor=getattr(self.db, "scale_factor", None),
+        )
+        run_id = run_id_for(fingerprint)
+        if use_fast:
+            return self._schedule_vectorized(
+                arrivals, workload_class, fingerprint, run_id
+            )
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_run(
+                {"run_id": run_id, "fingerprint": fingerprint}
+            )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.begin_run(run_id)
+            self._next_sample_s = 0.0
+
+        table = self._execute_once_table(arrivals)
+        distinct = list(table)
+        durations, _costed = self._precost(table, workload_class)
 
         # Per-distinct-SQL live service views, shared across arrivals
         # (the event loop would otherwise rebuild an identical mapping
@@ -532,6 +643,162 @@ class ClusterSimulator:
             workload_class=workload_class,
             qed=qed,
             faults=report,
+            run_id=run_id,
+            fingerprint=fingerprint,
+        )
+
+    #: Arrivals routed per ``route_chunk`` call: large enough to
+    #: amortize per-chunk numpy overhead, small enough to bound the
+    #: transient per-chunk arrays.
+    SCHEDULE_CHUNK = 131072
+
+    def _schedule_vectorized(
+        self,
+        arrivals: list[Arrival],
+        workload_class: str,
+        fingerprint: dict,
+        run_id: str,
+    ) -> ClusterSchedule:
+        """The chunked fast path: arrivals as structure-of-arrays.
+
+        Arrival times, template indices, and pre-costed service
+        durations become numpy arrays; the router places whole chunks
+        at once (``route_chunk``), and the outcome stays columnar all
+        the way into playback -- no per-arrival Python objects exist at
+        any point, which is what makes 1M arrivals x 100 nodes a
+        seconds-scale run.
+        """
+        table = self._execute_once_table(arrivals)
+        distinct = list(table)
+        durations, costed = self._precost(table, workload_class)
+        self._fault_active = False
+        self._fault_report = None
+        self.router.prepare(self.nodes)
+
+        n = len(arrivals)
+        n_nodes = len(self.nodes)
+        times = np.fromiter(
+            (a.time_s for a in arrivals), np.float64, count=n
+        )
+        index_of = {sql: d for d, sql in enumerate(distinct)}
+        sql_idx = np.fromiter(
+            (index_of[a.sql] for a in arrivals), np.int64, count=n
+        )
+        service = np.empty((len(distinct), n_nodes), dtype=np.float64)
+        for j, node in enumerate(self.nodes):
+            per = durations[(node.spec.hw, node.spec.setting)]
+            service[:, j] = [per[sql] for sql in distinct]
+
+        node_idx = np.empty(n, dtype=np.int64)
+        starts = np.empty(n, dtype=np.float64)
+        ends = np.empty(n, dtype=np.float64)
+        for lo in range(0, n, self.SCHEDULE_CHUNK):
+            hi = min(lo + self.SCHEDULE_CHUNK, n)
+            idx, st, en = self.router.route_chunk(
+                times[lo:hi], sql_idx[lo:hi], service, distinct,
+                self.nodes,
+            )
+            node_idx[lo:hi] = idx
+            starts[lo:hi] = st
+            ends[lo:hi] = en
+
+        order = np.argsort(node_idx, kind="stable")
+        offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(node_idx, minlength=n_nodes), out=offsets[1:]
+        )
+        columnar = ColumnarSchedule(
+            distinct=distinct, arrival_s=times, node_idx=node_idx,
+            sql_idx=sql_idx, start_s=starts, end_s=ends,
+            order=order, offsets=offsets, costed=costed,
+        )
+        horizon = float(max(times[-1], ends.max()))
+        return ClusterSchedule(
+            nodes=[NodeTimeline.snapshot(node) for node in self.nodes],
+            table=table,
+            pieces_by_node={n_.spec.name: [] for n_ in self.nodes},
+            settings_by_node={n_.spec.name: [] for n_ in self.nodes},
+            horizon_s=horizon,
+            shed=[],
+            peak_power_w=self._peak_power_columnar(
+                node_idx, starts, ends
+            ),
+            cap_w=getattr(self.router, "cap_w", None),
+            workload_class=workload_class,
+            qed=None,
+            faults=None,
+            run_id=run_id,
+            fingerprint=fingerprint,
+            columnar=columnar,
+        )
+
+    def _peak_power_columnar(
+        self, node_idx: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> float:
+        """Peak fleet power for an always-awake columnar run.
+
+        The same power-step sweep as :meth:`_peak_model_power_w`,
+        vectorized: the baseline is every node's idle draw, each busy
+        window steps by its node's (busy - idle) delta, and a lexsort
+        on (time, delta) reproduces the legacy sweep's tie order.
+        """
+        baseline = 0.0
+        deltas = np.empty(len(self.nodes))
+        for j, node in enumerate(self.nodes):
+            est = node.power_estimate()
+            baseline += est.idle_wall_w
+            deltas[j] = est.busy_wall_w - est.idle_wall_w
+        per_arrival = deltas[node_idx]
+        ev_t = np.concatenate([starts, ends])
+        ev_d = np.concatenate([per_arrival, -per_arrival])
+        running = np.cumsum(ev_d[np.lexsort((ev_d, ev_t))])
+        if running.size == 0:
+            return baseline
+        return baseline + max(0.0, float(running.max()))
+
+    def _schedule_empty(self) -> ClusterSchedule:
+        """A well-formed zero-arrival schedule: zero energy, zero
+        horizon, empty trace table (the measurement side renders one
+        ``[0, 0]`` phase window, mirroring the zero-horizon report)."""
+        workload_class = self.db.workload_class
+        fingerprint = config_fingerprint(
+            [node.spec for node in self.nodes], self.router,
+            master_queue=self.master_queue, faults=self.faults,
+            retry=self.retry, arrivals=[],
+            workload_class=workload_class,
+            scale_factor=getattr(self.db, "scale_factor", None),
+        )
+        run_id = run_id_for(fingerprint)
+        self._fault_active = False
+        self._fault_report = None
+        self.router.prepare(self.nodes)
+        if self.tracer.enabled:
+            self.tracer.begin_run(
+                {"run_id": run_id, "fingerprint": fingerprint}
+            )
+            self.tracer.finish(0.0)
+        if self.metrics is not None:
+            self.metrics.begin_run(run_id)
+            self._next_sample_s = 0.0
+            self._sample_metrics_until(0.0)
+        qed: QedReport | None = None
+        if self.master_queue is not None:
+            qed = QedReport(mode="master")
+        elif any(n.queue is not None for n in self.nodes):
+            qed = QedReport(mode="node")
+        active = self.faults is not None and not self.faults.empty
+        return ClusterSchedule(
+            nodes=[NodeTimeline.snapshot(n) for n in self.nodes],
+            table={},
+            pieces_by_node={n.spec.name: [] for n in self.nodes},
+            settings_by_node={n.spec.name: [] for n in self.nodes},
+            horizon_s=0.0,
+            shed=[],
+            peak_power_w=self._peak_model_power_w(0.0),
+            cap_w=getattr(self.router, "cap_w", None),
+            workload_class=workload_class,
+            qed=qed,
+            faults=FaultReport() if active else None,
             run_id=run_id,
             fingerprint=fingerprint,
         )
@@ -1025,6 +1292,14 @@ class ClusterSimulator:
                  mode: str = "batched") -> ClusterMeasurement:
         """Turn scheduled timelines into energy: the vectorized hot path
         (``batched``) or the per-query replay loop (``loop``)."""
+        if schedule.columnar is not None:
+            if mode != "batched":
+                raise ValueError(
+                    "a vectorized (columnar) schedule has no per-piece "
+                    "timeline to replay in loop mode; schedule with "
+                    "vectorized=False for the legacy loop"
+                )
+            return self._playback_columnar(schedule)
         if mode == "batched":
             measurements = play_batched(
                 schedule.nodes, schedule.pieces_by_node,
@@ -1082,7 +1357,81 @@ class ClusterSimulator:
             fingerprint=schedule.fingerprint,
         )
 
-    def run(self, arrivals: list[Arrival],
-            mode: str = "batched") -> ClusterMeasurement:
-        """Schedule and play an arrival stream end to end."""
-        return self.playback(self.schedule(arrivals), mode=mode)
+    def _playback_columnar(
+        self, schedule: ClusterSchedule
+    ) -> ClusterMeasurement:
+        """Measurement for a vectorized schedule, staying columnar.
+
+        Node energies come from :func:`play_columnar` (counts dot
+        pre-costed measurements + linear idle); responses stay as
+        arrays on the measurement (:class:`ResponseColumns`), which
+        serves percentiles, SLA accounting, and phase windows without
+        ever materializing per-query objects.
+        """
+        col = schedule.columnar
+        measurements = play_columnar(
+            schedule.nodes, col, schedule.horizon_s,
+            schedule.workload_class,
+        )
+        usages: list[NodeUsage] = []
+        for j, node in enumerate(schedule.nodes):
+            name = node.spec.name
+            rows = col.rows_for(j)
+            starts = col.start_s[rows]
+            ends = col.end_s[rows]
+            envelope = node.power_estimate()
+            usages.append(NodeUsage(
+                name=name,
+                queries=int(len(rows)),
+                busy_s=float((ends - starts).sum()),
+                wake_s=0.0,
+                sleep_s=0.0,
+                horizon_s=schedule.horizon_s,
+                playback=measurements[name],
+                sleep_joules=0.0,
+                re_sleeps=0,
+                busy_windows=(),
+                sleep_spans=(),
+                wake_spans=(),
+                idle_wall_w=envelope.idle_wall_w,
+                busy_wall_w=envelope.busy_wall_w,
+                sleep_wall_w=node.spec.sleep_wall_w,
+                busy_columns=(starts, ends),
+            ))
+        order = np.lexsort((col.end_s, col.arrival_s))
+        response_columns = ResponseColumns(
+            distinct=tuple(col.distinct),
+            node_names=tuple(n.spec.name for n in schedule.nodes),
+            sql_idx=col.sql_idx[order],
+            node_idx=col.node_idx[order],
+            arrival_s=col.arrival_s[order],
+            start_s=col.start_s[order],
+            completion_s=col.end_s[order],
+        )
+        return ClusterMeasurement(
+            horizon_s=schedule.horizon_s,
+            nodes=usages,
+            responses=[],
+            shed=list(schedule.shed),
+            peak_power_w=schedule.peak_power_w,
+            cap_w=schedule.cap_w,
+            qed=schedule.qed,
+            faults=schedule.faults,
+            run_id=schedule.run_id,
+            fingerprint=schedule.fingerprint,
+            response_columns=response_columns,
+        )
+
+    def run(self, arrivals: list[Arrival], mode: str = "batched",
+            vectorized: bool | None = None) -> ClusterMeasurement:
+        """Schedule and play an arrival stream end to end.
+
+        ``loop`` playback needs the legacy piece-based schedule, so it
+        implies ``vectorized=False`` unless the caller forced the fast
+        path explicitly (which then fails in :meth:`playback`).
+        """
+        if mode == "loop" and vectorized is None:
+            vectorized = False
+        return self.playback(
+            self.schedule(arrivals, vectorized=vectorized), mode=mode
+        )

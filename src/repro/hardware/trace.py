@@ -118,6 +118,22 @@ KIND_CLIENT = 1
 KIND_DISK = 2
 KIND_IDLE = 3
 
+#: One segment as a fixed-width record: the row format of the shared
+#: columnar trace store (:mod:`repro.hardware.trace_store`).  Every
+#: :class:`CompiledTrace` array maps onto one field, so a contiguous
+#: span of rows in a memory-mapped container file *is* a compiled
+#: trace -- no per-entry archive parsing on the read path.
+ROW_DTYPE = np.dtype([
+    ("kind", np.int8),
+    ("cycles", np.float64),
+    ("utilization", np.float64),
+    ("num_ops", np.int64),
+    ("bytes_total", np.float64),
+    ("sequential", np.bool_),
+    ("write", np.bool_),
+    ("seconds", np.float64),
+])
+
 
 @dataclass(frozen=True)
 class CompiledTrace:
@@ -244,6 +260,45 @@ class CompiledTrace:
                 seconds=data["seconds"],
                 labels=tuple(str(s) for s in data["labels"]),
             )
+
+    def to_rows(self) -> np.ndarray:
+        """Pack the trace into a contiguous :data:`ROW_DTYPE` record array.
+
+        Labels are not part of the row format; the columnar store keeps
+        them in its index so the data file stays fixed-width.
+        """
+        rows = np.empty(len(self), dtype=ROW_DTYPE)
+        rows["kind"] = self.kinds
+        rows["cycles"] = self.cycles
+        rows["utilization"] = self.utilization
+        rows["num_ops"] = self.num_ops
+        rows["bytes_total"] = self.bytes_total
+        rows["sequential"] = self.sequential
+        rows["write"] = self.write
+        rows["seconds"] = self.seconds
+        return rows
+
+    @classmethod
+    def from_rows(
+        cls, rows: np.ndarray, labels: tuple[str, ...]
+    ) -> "CompiledTrace":
+        """Rebuild a trace from a :data:`ROW_DTYPE` span (zero-copy).
+
+        The field views returned by a structured array share its buffer,
+        so traces built from a memory-mapped store alias one physical
+        copy across every node (and every process) playing them back.
+        """
+        if len(labels) != len(rows):
+            raise ValueError(
+                f"label count {len(labels)} != row count {len(rows)}"
+            )
+        return cls(
+            kinds=rows["kind"], cycles=rows["cycles"],
+            utilization=rows["utilization"], num_ops=rows["num_ops"],
+            bytes_total=rows["bytes_total"],
+            sequential=rows["sequential"], write=rows["write"],
+            seconds=rows["seconds"], labels=tuple(labels),
+        )
 
 
 @dataclass

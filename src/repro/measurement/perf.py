@@ -292,8 +292,11 @@ def compare_cluster_playback(
     from repro.cluster.simulator import ClusterSimulator
 
     sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache)
+    # This comparison isolates *playback* (batched vs loop) on one
+    # legacy schedule; the vectorized scheduler has no per-piece
+    # timeline for the loop to replay, so pin the event loop explicitly.
     start = time.perf_counter()
-    schedule = sim.schedule(arrivals)
+    schedule = sim.schedule(arrivals, vectorized=False)
     schedule_wall = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -317,13 +320,13 @@ def compare_cluster_playback(
     from repro.obs import NULL_TRACER, SpanTracer
 
     start = time.perf_counter()
-    sim.schedule(arrivals)
+    sim.schedule(arrivals, vectorized=False)
     untraced_rerun_wall = time.perf_counter() - start
 
     tracer = SpanTracer()
     sim.tracer = tracer
     start = time.perf_counter()
-    traced_schedule = sim.schedule(arrivals)
+    traced_schedule = sim.schedule(arrivals, vectorized=False)
     traced_schedule_wall = time.perf_counter() - start
     sim.tracer = NULL_TRACER
     traced = sim.playback(traced_schedule, mode="batched")
@@ -351,6 +354,232 @@ def compare_cluster_playback(
         traced_schedule_wall_s=traced_schedule_wall,
         traced_spans=len(tracer.spans),
         traced_max_rel_diff=traced_worst,
+    )
+
+
+# -- cluster scheduling: vectorized event core vs per-arrival loop --------
+
+#: Canonical scheduler-scaling scenario: a 100-node fleet under a
+#: million-arrival stream.  ``REPRO_BENCH_SCALING_NODES`` /
+#: ``REPRO_BENCH_SCALING_ARRIVALS`` shrink the vectorized-only tier and
+#: ``REPRO_BENCH_SCALING_COMPARE_ARRIVALS`` the paired comparison (the
+#: legacy loop at the full million would dominate CI wall time).
+SCALING_SCHED_NODES = 100
+SCALING_SCHED_ARRIVALS = 1_000_000
+SCALING_COMPARE_ARRIVALS = 100_000
+
+
+def scheduler_scaling_scenario(
+    count: int | None = None, nodes: int | None = None,
+) -> tuple[list, object, list]:
+    """(specs, router, arrivals) for the scheduler-scaling comparison.
+
+    Round-robin routing: its chunked fast path is pure array math, so
+    the comparison isolates the event core (the legacy per-arrival loop
+    versus closed-form FIFO sequencing), not router bookkeeping.
+    """
+    import os
+
+    from repro.cluster import RoundRobinRouter, uniform_fleet
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.selection import selection_workload
+
+    if nodes is None:
+        nodes = int(os.environ.get(
+            "REPRO_BENCH_SCALING_NODES", str(SCALING_SCHED_NODES)
+        ))
+    if count is None:
+        count = int(os.environ.get(
+            "REPRO_BENCH_SCALING_ARRIVALS", str(SCALING_SCHED_ARRIVALS)
+        ))
+    queries = selection_workload(CLUSTER_DISTINCT).queries
+    stream = poisson_arrivals(
+        [queries[i % CLUSTER_DISTINCT] for i in range(count)],
+        CLUSTER_MEAN_INTERARRIVAL_S, seed=CLUSTER_ARRIVAL_SEED,
+    )
+    return uniform_fleet(nodes), RoundRobinRouter(), stream
+
+
+def scheduler_compare_arrivals() -> int:
+    """Arrival count for the timed legacy-vs-vectorized pairing."""
+    import os
+
+    return int(os.environ.get(
+        "REPRO_BENCH_SCALING_COMPARE_ARRIVALS",
+        str(SCALING_COMPARE_ARRIVALS),
+    ))
+
+
+@dataclass
+class SchedulingComparison:
+    """Vectorized chunked scheduling vs the per-arrival event loop.
+
+    Both paths schedule and play the *same* arrival stream on
+    identically-configured fleets; ``max_rel_diff`` is the worst
+    per-node relative deviation in wall energy, CPU energy, and busy
+    duration between the two playbacks -- float-summation noise, never
+    a real difference (dispatch counts must match exactly).
+    """
+
+    nodes: int
+    arrivals: int
+    scale_factor: float | None
+    distinct_queries: int
+    legacy_schedule_wall_s: float
+    vectorized_schedule_wall_s: float
+    legacy_playback_wall_s: float
+    vectorized_playback_wall_s: float
+    legacy_wall_joules: float
+    vectorized_wall_joules: float
+    max_rel_diff: float
+    dispatch_match: bool
+    run_id: str | None = None
+
+    @property
+    def sched_speedup(self) -> float:
+        """Schedule-phase speedup of the chunked event core."""
+        return (
+            self.legacy_schedule_wall_s
+            / self.vectorized_schedule_wall_s
+        )
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        """Schedule + playback, each path on its native playback."""
+        return (
+            (self.legacy_schedule_wall_s + self.legacy_playback_wall_s)
+            / (self.vectorized_schedule_wall_s
+               + self.vectorized_playback_wall_s)
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["sched_speedup"] = self.sched_speedup
+        out["end_to_end_speedup"] = self.end_to_end_speedup
+        return out
+
+
+def compare_cluster_scheduling(
+    db: Database,
+    specs,
+    router_factory,
+    arrivals,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> SchedulingComparison:
+    """Time the vectorized and legacy schedulers on identical inputs.
+
+    ``router_factory`` builds a fresh router per path (routers carry
+    rotation/busy state; ``schedule`` re-prepares the fleet, so one
+    simulator serves both).  A warm-up schedule runs first: it fills
+    the runner's execution cache, the database plan cache, and any
+    trace cache, so the timed runs compare event cores warm-vs-warm
+    instead of measuring execute-once costing twice.
+    """
+    from repro.cluster.simulator import ClusterSimulator
+
+    sim = ClusterSimulator(
+        db, specs, router_factory(), trace_cache=trace_cache
+    )
+    sim.schedule(arrivals, vectorized=True)  # warm-up
+
+    sim.router = router_factory()
+    start = time.perf_counter()
+    legacy_schedule = sim.schedule(arrivals, vectorized=False)
+    legacy_schedule_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    legacy = sim.playback(legacy_schedule, mode="batched")
+    legacy_playback_wall = time.perf_counter() - start
+
+    sim.router = router_factory()
+    start = time.perf_counter()
+    vec_schedule = sim.schedule(arrivals, vectorized=True)
+    vec_schedule_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    vectorized = sim.playback(vec_schedule, mode="batched")
+    vec_playback_wall = time.perf_counter() - start
+
+    worst = 0.0
+    dispatch_match = vectorized.served == legacy.served
+    for a, b in zip(vectorized.nodes, legacy.nodes):
+        dispatch_match = dispatch_match and a.queries == b.queries
+        for key in ("wall_joules", "cpu_joules", "duration_s"):
+            x = getattr(a.playback, key)
+            y = getattr(b.playback, key)
+            worst = max(worst, abs(x - y) / (abs(x) or 1.0))
+
+    return SchedulingComparison(
+        nodes=len(specs),
+        arrivals=len(arrivals),
+        scale_factor=scale_factor,
+        distinct_queries=len({a.sql for a in arrivals}),
+        legacy_schedule_wall_s=legacy_schedule_wall,
+        vectorized_schedule_wall_s=vec_schedule_wall,
+        legacy_playback_wall_s=legacy_playback_wall,
+        vectorized_playback_wall_s=vec_playback_wall,
+        legacy_wall_joules=legacy.wall_joules,
+        vectorized_wall_joules=vectorized.wall_joules,
+        max_rel_diff=worst,
+        dispatch_match=dispatch_match,
+        run_id=vec_schedule.run_id,
+    )
+
+
+@dataclass
+class VectorizedTier:
+    """The vectorized-only scaling tier: the event core at full size.
+
+    No legacy pairing (the per-arrival loop at a million arrivals is
+    minutes, not seconds); correctness rides on the
+    :class:`SchedulingComparison` gate at the comparison size.
+    """
+
+    nodes: int
+    arrivals: int
+    scale_factor: float | None
+    schedule_wall_s: float
+    playback_wall_s: float
+    wall_joules: float
+    served: int
+    run_id: str | None = None
+
+    @property
+    def total_wall_s(self) -> float:
+        return self.schedule_wall_s + self.playback_wall_s
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["total_wall_s"] = self.total_wall_s
+        return out
+
+
+def time_vectorized_tier(
+    db: Database,
+    specs,
+    router,
+    arrivals,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> VectorizedTier:
+    """Schedule and play one stream through the vectorized core only."""
+    from repro.cluster.simulator import ClusterSimulator
+
+    sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache)
+    start = time.perf_counter()
+    schedule = sim.schedule(arrivals, vectorized=True)
+    schedule_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    measurement = sim.playback(schedule)
+    playback_wall = time.perf_counter() - start
+    return VectorizedTier(
+        nodes=len(specs),
+        arrivals=len(arrivals),
+        scale_factor=scale_factor,
+        schedule_wall_s=schedule_wall,
+        playback_wall_s=playback_wall,
+        wall_joules=measurement.wall_joules,
+        served=measurement.served,
+        run_id=schedule.run_id,
     )
 
 

@@ -33,6 +33,9 @@ A :class:`TraceCache` can additionally persist compiled traces to disk
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -114,21 +117,23 @@ class TraceCache:
         scale_factor: float,
         seed: int = 0,
         tables: tuple[str, ...] | list[str] | None = None,
+        columnar: bool = False,
     ) -> "TraceCache":
         """A cache namespaced by everything a TPC-H trace depends on.
 
         Every entry point that shares a cache directory (cluster CLI,
         ``scripts/perf_report.py``, the benchmark suite) must build the
         namespace through here, or equal workloads silently miss each
-        other's entries.
+        other's entries.  ``columnar=True`` returns the memory-mapped
+        :class:`ColumnarTraceCache` over the same namespace (the two
+        backends store entries separately: per-entry ``.npz`` files vs
+        one shared container file).
         """
         tables_key = "-".join(tables) if tables else "all"
-        return cls(
-            directory,
-            namespace=(
-                f"{engine}-sf{scale_factor}-seed{seed}-{tables_key}"
-            ),
-        )
+        namespace = f"{engine}-sf{scale_factor}-seed{seed}-{tables_key}"
+        if columnar:
+            return ColumnarTraceCache(directory, namespace=namespace)
+        return cls(directory, namespace=namespace)
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(
@@ -141,12 +146,71 @@ class TraceCache:
         if not path.exists():
             self.misses += 1
             return None
+        try:
+            compiled = CompiledTrace.load(path)
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile):
+            # A truncated or corrupt entry (e.g. a writer killed before
+            # the atomic rename existed) is a miss, not a crash: heal
+            # the cache by dropping the bad file so the caller's
+            # recompile can replace it.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         self.hits += 1
-        return CompiledTrace.load(path)
+        return compiled
 
     def put(self, key: str, compiled: CompiledTrace) -> None:
-        self._path(key).parent.mkdir(parents=True, exist_ok=True)
-        compiled.save(self._path(key))
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a concurrent reader sharing the cache
+        # directory can never observe a half-written archive.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            compiled.save(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+
+class ColumnarTraceCache(TraceCache):
+    """A :class:`TraceCache` backed by the shared columnar trace store.
+
+    Same interface and hit/miss accounting, but entries live as row
+    spans in one append-only memory-mapped container per namespace
+    (:class:`~repro.hardware.trace_store.ColumnarTraceStore`) instead of
+    per-entry ``.npz`` archives: ``get`` returns zero-copy views, so a
+    100-node playback -- or several processes -- share one physical copy
+    of every trace.
+    """
+
+    def __init__(self, directory: str | Path, namespace: str = ""):
+        super().__init__(directory, namespace)
+        from repro.hardware.trace_store import ColumnarTraceStore
+
+        self.store = ColumnarTraceStore(directory, namespace)
+
+    def get(self, key: str) -> CompiledTrace | None:
+        compiled = self.store.get(key)
+        if compiled is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return compiled
+
+    def put(self, key: str, compiled: CompiledTrace) -> None:
+        self.store.put(key, compiled)
 
 
 @dataclass

@@ -50,7 +50,9 @@ class TestEnergyConservation:
         sim = ClusterSimulator(
             mysql_db, heterogeneous_specs, RoundRobinRouter()
         )
-        schedule = sim.schedule(_stream())
+        # The per-piece comparison below reads the loop scheduler's
+        # piece maps; the vectorized path never materializes them.
+        schedule = sim.schedule(_stream(), vectorized=False)
         batched = play_batched(
             schedule.nodes, schedule.pieces_by_node,
             schedule.workload_class,

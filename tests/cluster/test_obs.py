@@ -363,9 +363,10 @@ class TestMetrics:
         sample = doc["samples"][0]
         assert "t_s" in sample and "awake_nodes" in sample
 
-    def test_rejects_bad_window(self):
-        with pytest.raises(ValueError):
-            MetricsRegistry(window_s=0.0)
+    @pytest.mark.parametrize("window_s", [0.0, -1.0, -0.5])
+    def test_rejects_bad_window(self, window_s):
+        with pytest.raises(ValueError, match="window_s"):
+            MetricsRegistry(window_s=window_s)
 
 
 class TestWindowReportRegressions:

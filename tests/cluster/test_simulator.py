@@ -39,7 +39,9 @@ class TestScheduling:
                                LeastLoadedRouter())
         m = sim.run(stream)
         assert m.served == len(stream)
-        answered = sorted((r.sql, r.arrival_s) for r in m.responses)
+        answered = sorted(
+            (r.sql, r.arrival_s) for r in m.iter_responses()
+        )
         expected = sorted((a.sql, a.time_s) for a in stream)
         assert answered == expected
 
@@ -47,7 +49,8 @@ class TestScheduling:
         sim = ClusterSimulator(mysql_db, uniform_fleet(2),
                                LeastLoadedRouter())
         m = sim.run(_stream(mean_s=0.005))
-        for r in m.responses:
+        assert m.served > 0
+        for r in m.iter_responses():
             assert r.start_s >= r.arrival_s - 1e-12
             assert r.completion_s > r.start_s
             assert r.response_s > 0
@@ -98,11 +101,15 @@ class TestScheduling:
         m = sim.run(merge_arrivals(a, b))
         assert m.served == len(a) + len(b)
 
-    def test_empty_arrivals_rejected(self, mysql_db):
+    def test_empty_arrivals_produce_a_zero_run(self, mysql_db):
+        """NHPP generators legitimately emit empty streams in low-rate
+        windows; they must measure as zero, not crash."""
         sim = ClusterSimulator(mysql_db, uniform_fleet(2),
                                RoundRobinRouter())
-        with pytest.raises(ValueError):
-            sim.run([])
+        m = sim.run([])
+        assert m.served == 0
+        assert m.wall_joules == 0.0
+        assert m.horizon_s == 0.0
 
     def test_duplicate_node_names_rejected(self, mysql_db):
         with pytest.raises(ValueError):

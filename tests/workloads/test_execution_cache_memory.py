@@ -124,6 +124,39 @@ class TestTraceCache:
             > warm_exec.compiled_trace().bytes_total.sum()
         )
 
+    def test_corrupt_entry_reads_as_miss_and_heals(self, sut, tmp_path):
+        """A truncated/garbage .npz (crashed writer, torn copy) must
+        come back as a miss -- and the bad file must be evicted so the
+        recompute's put can heal it."""
+        cache = TraceCache(tmp_path, namespace="corrupt")
+        runner = WorkloadRunner(self._db(), sut, trace_cache=cache)
+        runner.cached_execution(self.SQL, keep_result=False)
+        key = runner._trace_key_prefix + self.SQL
+        path = cache._path(key)
+        assert path.exists()
+        path.write_bytes(b"PK\x03\x04 this is not a real zip")
+        misses = cache.misses
+        assert cache.get(key) is None
+        assert cache.misses == misses + 1
+        assert not path.exists()  # evicted, not left to fail forever
+        db = self._db()
+        WorkloadRunner(db, sut, trace_cache=cache
+                       ).cached_execution(self.SQL, keep_result=False)
+        assert db.executions == 1  # recomputed ...
+        db2 = self._db()
+        WorkloadRunner(db2, sut, trace_cache=cache
+                       ).cached_execution(self.SQL, keep_result=False)
+        assert db2.executions == 0  # ... and the entry is whole again
+
+    def test_put_is_atomic_leaves_no_temp_files(self, sut, tmp_path):
+        cache = TraceCache(tmp_path, namespace="atomic")
+        runner = WorkloadRunner(self._db(), sut, trace_cache=cache)
+        runner.cached_execution(self.SQL, keep_result=False)
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix != ".npz"]
+        assert leftovers == []
+        assert cache._path(runner._trace_key_prefix + self.SQL).exists()
+
     def test_namespaces_do_not_collide(self, sut, tmp_path):
         a = TraceCache(tmp_path, namespace="a")
         b = TraceCache(tmp_path, namespace="b")
