@@ -40,6 +40,7 @@ DEFAULT_KEYS = (
     "qed.master_vs_node_saving",
     "qed.node_vs_off_saving",
     "faults.consolidate_vs_spread_saving",
+    "replication.consolidate_vs_spread_saving",
 )
 #: Absolute floor every gated speedup must clear regardless of config.
 SPEEDUP_FLOOR = 5.0
@@ -50,6 +51,7 @@ FLOORS = {
     "qed.master_vs_node_saving": 0.0,
     "qed.node_vs_off_saving": 0.0,
     "faults.consolidate_vs_spread_saving": 0.0,
+    "replication.consolidate_vs_spread_saving": 0.0,
 }
 
 
@@ -95,6 +97,11 @@ CONFIG_FIELDS = {
     ),
     "faults.consolidate_vs_spread_saving": (
         "faults.arrivals", "faults.nodes", "faults.scale_factor",
+    ),
+    "replication.consolidate_vs_spread_saving": (
+        "replication.arrivals", "replication.nodes",
+        "replication.shards", "replication.replicas",
+        "replication.scale_factor",
     ),
 }
 

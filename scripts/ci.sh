@@ -6,6 +6,7 @@
 #   scripts/ci.sh --stage tests    # tier-1 pytest suite
 #   scripts/ci.sh --stage perf     # sweep perf smoke bench
 #   scripts/ci.sh --stage cluster  # cluster + diurnal + qed smoke benches
+#   scripts/ci.sh --stage replication  # placement + re-replication smoke
 #   scripts/ci.sh --stage obs      # traced cluster smoke + trace schema
 #                                  # + tracing-overhead trend gate
 #
@@ -22,7 +23,7 @@ STAGE="all"
 while [ $# -gt 0 ]; do
     case "$1" in
         --stage) STAGE="$2"; shift 2 ;;
-        *) echo "usage: scripts/ci.sh [--stage lint|tests|perf|cluster|obs|all]" >&2
+        *) echo "usage: scripts/ci.sh [--stage lint|tests|perf|cluster|replication|obs|all]" >&2
            exit 2 ;;
     esac
 done
@@ -92,9 +93,35 @@ run_cluster() {
                faults.consolidate_vs_spread_saving
 }
 
+run_replication() {
+    echo "== replication smoke bench =="
+    REPRO_BENCH_SF="${REPRO_BENCH_SF:-0.01}" \
+    REPRO_BENCH_REPLICATION_ARRIVALS="${REPRO_BENCH_REPLICATION_ARRIVALS:-200}" \
+        python -m pytest benchmarks/bench_replication.py -x -q
+    echo "== placement-routed cluster smoke run =="
+    python -m repro cluster --sf 0.002 --nodes 4 --arrivals 60 \
+        --distinct 8 --policy least --shards 4 --replicas 2 \
+        --faults examples/fault_plan.json --retry-max 4 \
+        --retry-backoff 0.05 --sla 1.0
+    echo "== perf trend gate (replication) =="
+    python scripts/check_bench_trend.py \
+        --fresh "$SMOKE_JSON" \
+        --keys replication.consolidate_vs_spread_saving
+}
+
 run_obs() {
-    local obs_dir trace metrics
-    obs_dir="$(mktemp -d "${TMPDIR:-/tmp}/repro-obs.XXXXXX")"
+    local obs_dir trace metrics keep_dir
+    # REPRO_CI_OBS_DIR persists the trace/metrics exports (the CI
+    # workflow uploads them as artifacts); unset, a scratch dir is
+    # used and removed.
+    if [ -n "${REPRO_CI_OBS_DIR:-}" ]; then
+        obs_dir="$REPRO_CI_OBS_DIR"
+        mkdir -p "$obs_dir"
+        keep_dir=1
+    else
+        obs_dir="$(mktemp -d "${TMPDIR:-/tmp}/repro-obs.XXXXXX")"
+        keep_dir=0
+    fi
     trace="$obs_dir/trace.json"
     metrics="$obs_dir/metrics.json"
     echo "== traced cluster smoke run =="
@@ -118,7 +145,9 @@ assert ts == sorted(ts), "samples out of order"
 print(f"metrics OK: {len(doc['samples'])} samples, "
       f"counters {sorted(doc['counters'])}")
 EOF
-    rm -rf "$obs_dir"
+    if [ "$keep_dir" = 0 ]; then
+        rm -rf "$obs_dir"
+    fi
     echo "== tracing-overhead trend gate (cluster_scaling) =="
     if [ ! -f "$SMOKE_JSON" ]; then
         echo "no fresh smoke artifact; running cluster scaling bench"
@@ -142,8 +171,10 @@ case "$STAGE" in
     tests)   run_tests ;;
     perf)    run_perf ;;
     cluster) run_cluster ;;
+    replication) run_replication ;;
     obs)     run_obs ;;
-    all)     run_lint; run_tests; run_perf; run_cluster; run_obs ;;
+    all)     run_lint; run_tests; run_perf; run_cluster;
+             run_replication; run_obs ;;
     *) echo "unknown stage: $STAGE" >&2; exit 2 ;;
 esac
 

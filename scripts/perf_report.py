@@ -30,7 +30,13 @@ Runs four comparisons and records them in one artifact:
   crash, failed wakes, straggler window, transient unavailability --
   under spread vs consolidate-with-recovery), appended under
   ``faults``, gating that consolidation's energy win survives active
-  faults at the equal SLA-miss budget with no query silently lost.
+  faults at the equal SLA-miss budget with no query silently lost;
+* the replication ablation (lineitem hash-partitioned into chained
+  replicated shards, a crash killing one replica of every shard a
+  node held, re-replication billed on both endpoints), appended under
+  ``replication``, gating that quorum-aware consolidation still beats
+  always-awake spread while the copies are in flight, every shard is
+  restored to its replica target, and no query is silently lost.
 
 Every artifact refresh also appends a ``history`` entry (timestamp +
 gated speedups), so the perf trajectory stays machine-readable --
@@ -77,6 +83,10 @@ CHECK_GATES = [
     ("faults.consolidate_beats_spread", "true", None),
     ("faults.conserved", "true", None),
     ("faults.faults_active", "true", None),
+    ("replication.consolidate_beats_spread", "true", None),
+    ("replication.conserved", "true", None),
+    ("replication.re_replicated", "true", None),
+    ("replication.restored", "true", None),
 ]
 
 
@@ -137,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         run_diurnal_ablation,
         run_fault_ablation,
         run_qed_ablation,
+        run_replication_ablation,
         scheduler_compare_arrivals,
         scheduler_scaling_scenario,
         time_vectorized_tier,
@@ -274,6 +285,26 @@ def main(argv: list[str] | None = None) -> int:
     print(f"conserved / faults active            : "
           f"{faults.conserved} / {faults.faults_active}")
 
+    replication = run_replication_ablation(db, scale_factor=args.sf,
+                                           trace_cache=trace_cache)
+    print(f"\nreplication ablation  : {replication.arrivals} arrivals "
+          f"over {replication.nodes} nodes ({replication.shards} shards "
+          f"x {replication.replicas} replicas, quorum "
+          f"{replication.quorum})")
+    for name, stats in replication.modes.items():
+        f = stats["faults"]
+        print(f"  {name:12s} {stats['wall_joules']:9.1f} J  "
+              f"SLA misses {stats['sla_misses']:3d}  "
+              f"copies {f['re_replications']:2d}  "
+              f"copy {f['copy_joules']:6.2f} J  "
+              f"holders {stats['min_live_holders']}")
+    print(f"consolidate beats spread w/ replication: "
+          f"{replication.consolidate_beats_spread} "
+          f"(saving {replication.consolidate_vs_spread_saving:.1%})")
+    print(f"re-replicated / restored / conserved   : "
+          f"{replication.re_replicated} / {replication.restored} / "
+          f"{replication.conserved}")
+
     record = (
         json.loads(args.out.read_text()) if args.out.exists() else {}
     )
@@ -298,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
     record["diurnal"] = diurnal.to_dict()
     record["qed"] = qed.to_dict()
     record["faults"] = faults.to_dict()
+    record["replication"] = replication.to_dict()
     args.out.write_text(json.dumps(record, indent=2))
     append_history(args.out, record)
     print(f"wrote {args.out}")
@@ -318,6 +350,10 @@ def main(argv: list[str] | None = None) -> int:
         and faults.consolidate_beats_spread
         and faults.conserved
         and faults.faults_active
+        and replication.consolidate_beats_spread
+        and replication.conserved
+        and replication.re_replicated
+        and replication.restored
     )
     return 0 if ok else 1
 

@@ -12,6 +12,10 @@
         --qed-max-wait 0.3 --qed-placement hash
     python -m repro cluster --policy dynamic --sla 1.0 \
         --faults examples/fault_plan.json --retry-max 4
+    python -m repro cluster --policy least --shards 8 --replicas 2 \
+        --quorum majority --faults examples/fault_plan.json
+    python -m repro cluster --placement examples/placement.json \
+        --policy dynamic
     python -m repro experiments --sf 0.02      # everything, compact
 
 Each reproduction command prints a paper-vs-measured table (see
@@ -265,6 +269,19 @@ def cmd_cluster(args) -> int:
         print("error: --retry-max/--retry-backoff tune the fault "
               "recovery policy and need --faults", file=sys.stderr)
         return 2
+    if args.placement is not None and (
+        args.shards is not None or args.replicas is not None
+        or args.quorum is not None
+    ):
+        print("error: --placement loads a full map and excludes "
+              "--shards/--replicas/--quorum", file=sys.stderr)
+        return 2
+    if args.shards is None and (
+        args.replicas is not None or args.quorum is not None
+    ):
+        print("error: --replicas/--quorum shape a generated placement "
+              "and need --shards", file=sys.stderr)
+        return 2
     if args.scheduler == "vectorized" and args.playback == "loop":
         print("error: --playback loop replays per-piece timelines the "
               "vectorized scheduler never materializes; use "
@@ -340,6 +357,27 @@ def cmd_cluster(args) -> int:
                     if args.retry_backoff is not None else 1.0
                 ),
             )
+        placement_map = None
+        if args.placement is not None:
+            from repro.cluster import load_placement
+
+            placement_map = load_placement(args.placement)
+        elif args.shards is not None:
+            from repro.cluster import generate_placement
+
+            quorum = 1
+            if args.quorum is not None:
+                quorum = (
+                    "majority" if args.quorum == "majority"
+                    else int(args.quorum)
+                )
+            placement_map = generate_placement(
+                specs, shards=args.shards,
+                replicas=(
+                    args.replicas if args.replicas is not None else 1
+                ),
+                quorum=quorum,
+            )
     except (ValueError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -368,7 +406,8 @@ def cmd_cluster(args) -> int:
     )
     sim = ClusterSimulator(db, specs, router, trace_cache=trace_cache,
                            master_queue=master_queue, faults=fault_plan,
-                           retry=retry, tracer=tracer, metrics=metrics)
+                           retry=retry, placement=placement_map,
+                           tracer=tracer, metrics=metrics)
     vectorized = {"auto": None, "vectorized": True,
                   "legacy": False}[args.scheduler]
     try:
@@ -391,6 +430,13 @@ def cmd_cluster(args) -> int:
     print(f"  served {m.served}, shed {len(m.shed)}, "
           f"awake nodes {m.awake_nodes}/{len(m.nodes)}, "
           f"re-sleeps {m.re_sleeps}")
+    if placement_map is not None:
+        shard_count = sum(
+            tp.shards for tp in placement_map.tables.values()
+        )
+        print(f"  placement      : {len(placement_map.tables)} "
+              f"table(s), {shard_count} shards over "
+              f"{len(placement_map.node_names)} nodes")
     if m.qed is not None:
         q = m.qed
         print(f"  QED ({q.mode}): {q.batches} batches, mean size "
@@ -422,6 +468,10 @@ def cmd_cluster(args) -> int:
               f"{f.dead_lettered} dead-lettered")
         print(f"  wasted work    : {f.wasted_busy_s:10.2f} s busy, "
               f"{f.wasted_joules:.1f} J written off")
+        if f.re_replications:
+            print(f"  re-replication : {f.re_replications} shard "
+                  f"copies, {f.copy_s:.2f} s copy work, "
+                  f"{f.copy_joules:.1f} J")
         if args.sla is not None:
             split = m.sla_split(args.sla)
             print(f"  SLA split      : affected "
@@ -634,6 +684,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-backoff", type=float, default=None,
                    help="faults: base retry backoff in seconds, "
                         "doubling per attempt (default 1.0)")
+    p.add_argument("--placement", default=None, metavar="PLAN.json",
+                   help="data-placement map: partitioned tables with "
+                        "replicated shards pinned to named nodes "
+                        "(excludes --shards/--replicas/--quorum)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="generate a default placement: hash-partition "
+                        "lineitem into this many shards spread over "
+                        "the fleet by chained declustering")
+    p.add_argument("--replicas", type=int, default=None,
+                   help="replicas per generated shard (default 1; "
+                        "needs --shards)")
+    p.add_argument("--quorum", default=None,
+                   help="generated placement: awake replicas required "
+                        "per shard before consolidation may sleep a "
+                        "holder -- an integer or 'majority' "
+                        "(default 1; needs --shards)")
     p.add_argument("--playback", choices=("batched", "loop"),
                    default="batched")
     p.add_argument("--scheduler",

@@ -41,6 +41,12 @@ from repro.cluster.measure import (
     ResponseColumns,
     ShedQuery,
 )
+from repro.cluster.placement import (
+    PlacementMap,
+    TablePlacement,
+    generate_placement,
+    load_placement,
+)
 from repro.cluster.node import (
     NodeGroup,
     NodeSpec,
@@ -101,6 +107,7 @@ __all__ = [
     "NodeUsage",
     "PASSTHROUGH",
     "PhaseWindow",
+    "PlacementMap",
     "PowerCapRouter",
     "QedPartitionStats",
     "QedReport",
@@ -112,8 +119,11 @@ __all__ = [
     "SUT_FACTORIES",
     "ShedQuery",
     "SimulatedNode",
+    "TablePlacement",
+    "generate_placement",
     "hetero_fleet",
     "load_fault_plan",
+    "load_placement",
     "play_batched",
     "play_columnar",
     "play_loop",

@@ -30,6 +30,14 @@ Fault kinds
     Transient unresponsiveness over ``[start_s, end_s)``: routers and
     placements skip the node, but nothing in flight is lost.
 
+Under an active :class:`~repro.cluster.placement.PlacementMap`, a
+crash additionally triggers **re-replication**: every shard the dead
+node held that falls below its replication target is copied from a
+live replica to a node not yet holding it, as compiled-trace work
+billed in joules on *both* endpoints and reported on the run's
+:class:`~repro.cluster.measure.FaultReport` (``re_replications``,
+``copy_s``, ``copy_joules``).
+
 An **empty plan injects nothing and costs nothing**: every fault hook
 in the node/simulator/router layers fast-paths out without touching
 the RNG or perturbing any float, so schedules and energies are

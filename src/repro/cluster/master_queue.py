@@ -28,6 +28,12 @@ Under an active :class:`~repro.cluster.faults.FaultPlan`, placement
 policies skip crashed/unresponsive nodes and survive failed wakes; a
 dispatch no node can take is not shed but requeued through the
 simulator's :class:`~repro.cluster.faults.RetryPolicy`.
+
+Under an active :class:`~repro.cluster.placement.PlacementMap`, the
+simulator splits each dispatched batch by the shard set its queries'
+predicates touch and narrows every placement call to the owning
+replica sets, so merged batches never land on a node missing the data
+they read (``ClusterSimulator._shard_groups``).
 """
 
 from __future__ import annotations

@@ -187,6 +187,13 @@ class FaultReport:
     spent on answers it never delivered).  ``affected`` identifies the
     ``(sql, arrival_s)`` pairs that were retried or dead-lettered, so
     SLA attainment can be split by fault exposure.
+
+    Under a placement map a crash additionally triggers re-replication
+    of the shards the dead node held: ``re_replications`` counts shard
+    copies started, ``copy_s`` their combined busy seconds across both
+    endpoints (source read+ship, destination ship+write), and
+    ``copy_joules`` the modeled busy-watt energy of those windows --
+    recovery traffic the fleet bills on top of serving the workload.
     """
 
     crashes: int = 0
@@ -196,6 +203,9 @@ class FaultReport:
     dead_lettered: int = 0
     wasted_busy_s: float = 0.0
     wasted_joules: float = 0.0
+    re_replications: int = 0
+    copy_s: float = 0.0
+    copy_joules: float = 0.0
     affected: set = field(default_factory=set)
 
     def to_dict(self) -> dict:
@@ -207,6 +217,9 @@ class FaultReport:
             "dead_lettered": self.dead_lettered,
             "wasted_busy_s": self.wasted_busy_s,
             "wasted_joules": self.wasted_joules,
+            "re_replications": self.re_replications,
+            "copy_s": self.copy_s,
+            "copy_joules": self.copy_joules,
             "affected_queries": len(self.affected),
         }
 
@@ -730,5 +743,9 @@ class ClusterMeasurement:
                 "fault_retries": float(self.faults.retries),
                 "fault_dead_lettered": float(self.faults.dead_lettered),
                 "fault_wasted_joules": self.faults.wasted_joules,
+                "fault_re_replications": float(
+                    self.faults.re_replications
+                ),
+                "fault_copy_joules": self.faults.copy_joules,
             })
         return out

@@ -259,6 +259,12 @@ class SimulatedNode(TimelineAccounting):
         #: before the router's ``prepare``; survives ``reset`` so the
         #: router's node resets cannot drop it.  None: no faults.
         self.faults = None
+        #: The ``(table, shard)`` pairs this node holds, installed by
+        #: the simulator when a placement map is active (None: fully
+        #: replicated, the seed model).  Survives ``reset`` like
+        #: ``faults``; re-replication after a crash grows the set of
+        #: the copy's destination mid-run.
+        self.shards: set[tuple[str, int]] | None = None
         self.reset(awake=True)
 
     # -- life cycle -------------------------------------------------------

@@ -43,6 +43,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cluster.node import SimulatedNode
+from repro.cluster.placement import (
+    quorum_cover,
+    quorum_wake_candidates,
+    sleep_would_break_quorum,
+)
 from repro.core.pvc.adaptive import DEFAULT_LADDER, ladder_step
 from repro.workloads.arrivals import RateSchedule
 
@@ -66,7 +71,22 @@ class Router:
     on evolving per-arrival state the chunk form cannot express (sleep
     and wake transitions, EWMA load tracking, power-cap admission)
     simply omit it and keep the exact per-arrival loop.
+
+    When a :class:`~repro.cluster.placement.PlacementMap` is active the
+    simulator installs it as ``placement`` (before ``prepare``) and
+    narrows the ``nodes`` list passed to ``route`` to the arrival's
+    eligible replica set; consolidating subclasses additionally consult
+    the map's quorum constraints before sleeping nodes.  Routers whose
+    ``route_chunk`` honors an ``eligible`` node mask advertise it via
+    ``placement_chunk`` so placement-constrained runs can stay on the
+    vectorized path.
     """
+
+    #: Installed by the simulator when a placement map constrains the
+    #: run; None reproduces the fully-replicated seed behavior.
+    placement = None
+    #: Whether ``route_chunk`` accepts the ``eligible`` mask.
+    placement_chunk = False
 
     def prepare(self, nodes: list[SimulatedNode]) -> None:
         """Reset per-run state; called once before the event loop."""
@@ -201,6 +221,8 @@ def earliest_completion_node(
 class LeastLoadedRouter(Router):
     """Route to the node that would complete the query earliest."""
 
+    placement_chunk = True
+
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
         # Earliest completion first (stable, so fault-free runs pick
         # the same node min() used to); a crashed-then-recovered node
@@ -220,7 +242,8 @@ class LeastLoadedRouter(Router):
             return Decision(node, now_s)
         return Decision(None, now_s)
 
-    def route_chunk(self, times, sql_idx, service, distinct, nodes):
+    def route_chunk(self, times, sql_idx, service, distinct, nodes,
+                    eligible=None):
         """Argmin form of the earliest-completion rule.
 
         Exact, not approximate: per arrival, the candidate completion
@@ -230,6 +253,11 @@ class LeastLoadedRouter(Router):
         recurrence stays sequential (each choice feeds the next) but
         runs as O(nodes) array ops per arrival instead of building and
         sorting a Python candidate list.
+
+        ``eligible`` (a ``(distinct, nodes)`` bool mask) expresses the
+        placement constraint: ineligible completions become ``+inf``,
+        which reproduces the loop's sorted-subset choice exactly --
+        node order is preserved, so the tie-break is unchanged.
         """
         busy = np.array([node.busy_until for node in nodes])
         node_idx = np.empty(len(times), dtype=np.intp)
@@ -238,6 +266,10 @@ class LeastLoadedRouter(Router):
         for k in range(len(times)):
             ready = np.maximum(busy, times[k])
             completion = ready + service[sql_idx[k]]
+            if eligible is not None:
+                completion = np.where(
+                    eligible[sql_idx[k]], completion, np.inf
+                )
             j = int(np.argmin(completion))
             node_idx[k] = j
             starts[k] = ready[j]
@@ -256,7 +288,14 @@ class HashSplitRouter(Router):
     repeat arrivals of a template always land where its working set is
     already hot.  All nodes stay awake (like spread); a crashed home
     node falls through to the next slot in hash order until recovery.
+
+    Under a placement map this is real shard routing: the simulator
+    narrows ``nodes`` to the owning replica set, so the hash pins each
+    template to a *replica* of its shard (falling through to the other
+    replicas when that one is down).
     """
+
+    placement_chunk = True
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
         first = _stable_hash(sql) % len(nodes)
@@ -271,12 +310,25 @@ class HashSplitRouter(Router):
             return Decision(node, now_s)
         return Decision(None, now_s)
 
-    def route_chunk(self, times, sql_idx, service, distinct, nodes):
-        """Vectorized affinity: hash each template once, then gather."""
-        home = np.array(
-            [_stable_hash(sql) % len(nodes) for sql in distinct],
-            dtype=np.intp,
-        )
+    def route_chunk(self, times, sql_idx, service, distinct, nodes,
+                    eligible=None):
+        """Vectorized affinity: hash each template once, then gather.
+
+        With an ``eligible`` mask, each template hashes over its own
+        eligible node list (in node order) -- exactly the subset the
+        loop path receives from the simulator -- and the chosen index
+        maps back to the fleet position.
+        """
+        if eligible is None:
+            home = np.array(
+                [_stable_hash(sql) % len(nodes) for sql in distinct],
+                dtype=np.intp,
+            )
+        else:
+            home = np.empty(len(distinct), dtype=np.intp)
+            for d, sql in enumerate(distinct):
+                pool = np.flatnonzero(eligible[d])
+                home[d] = pool[_stable_hash(sql) % len(pool)]
         node_idx = home[sql_idx]
         service_s = service[sql_idx, node_idx]
         starts, ends = sequence_chunk_on_nodes(
@@ -308,9 +360,16 @@ class ConsolidateRouter(Router):
     def prepare(self, nodes: list[SimulatedNode]) -> None:
         if not nodes:
             raise ValueError("router needs at least one node")
-        nodes[0].reset(awake=True)
-        for node in nodes[1:]:
-            node.reset(awake=False)
+        self._fleet = list(nodes)
+        if self.placement is None:
+            awake_names = {nodes[0].spec.name}
+        else:
+            # Quorum cover: the run starts with every shard's quorum of
+            # replicas awake instead of a single node, so consolidation
+            # never begins with a shard entirely asleep.
+            awake_names = quorum_cover(self.placement, nodes)
+        for node in nodes:
+            node.reset(awake=node.spec.name in awake_names)
 
     def route(self, sql, now_s, service_by_node, nodes) -> Decision:
         usable = [n for n in nodes if n.can_serve(now_s)]
@@ -408,8 +467,12 @@ class DynamicConsolidateRouter(ConsolidateRouter):
     def prepare(self, nodes: list[SimulatedNode]) -> None:
         if len(nodes) < self.min_awake:
             raise ValueError("min_awake exceeds the fleet size")
-        for i, node in enumerate(nodes):
-            node.reset(awake=i < self.min_awake)
+        self._fleet = list(nodes)
+        awake_names = {n.spec.name for n in nodes[:self.min_awake]}
+        if self.placement is not None:
+            awake_names |= quorum_cover(self.placement, nodes)
+        for node in nodes:
+            node.reset(awake=node.spec.name in awake_names)
         self._last_arrival_s: float | None = None
         self._gap_ewma: float | None = None
         self._service_ewma: float | None = None
@@ -477,6 +540,22 @@ class DynamicConsolidateRouter(ConsolidateRouter):
             if node.awake:  # the wake may fail under a fault plan
                 awake.append(node)
 
+        # Quorum floor: crashes and failed wakes can strip a shard of
+        # its quorum of awake replicas even while ``min_awake`` holds
+        # fleet-wide; re-wake the sleeping holders that close the gap.
+        # The check runs over the whole fleet (``prepare``'s node
+        # list), not the eligible subset this arrival routed over --
+        # the gap may be on shards this arrival never touches.
+        if self.placement is not None:
+            for node in quorum_wake_candidates(
+                self.placement, self._fleet, now_s
+            ):
+                node.wake(now_s)
+                if node in sleepers:
+                    sleepers.remove(node)
+                    if node.awake:
+                        awake.append(node)
+
         demand = self._demand_erlangs(now_s, nodes)
         if demand is None:
             return
@@ -496,13 +575,20 @@ class DynamicConsolidateRouter(ConsolidateRouter):
 
         # Re-sleep: walk the awake tail (keep the head nodes hot) and
         # sleep drained nodes while the remaining capacity still clears
-        # the demand by the full hysteresis band.
+        # the demand by the full hysteresis band.  Under a placement
+        # map a node additionally stays awake while it is the last
+        # awake quorum replica of any shard it holds.
         for node in reversed(awake[self.min_awake:]):
             surplus_ok = (
                 awake_cap - node.spec.capacity
                 >= needed_cap * (1.0 + self.hysteresis)
             )
-            if surplus_ok and node.drained(now_s):
+            if (
+                surplus_ok and node.drained(now_s)
+                and not sleep_would_break_quorum(
+                    self.placement, node, self._fleet, now_s
+                )
+            ):
                 node.sleep(now_s)
                 awake_cap -= node.spec.capacity
 
@@ -609,10 +695,18 @@ class BatchPlacement:
         after ``router.prepare``)."""
         self.router = router
 
+    @property
+    def placement(self):
+        """The run's data-placement map (via the bound router); None
+        until ``prepare`` binds a router or when no map is active."""
+        return getattr(self.router, "placement", None)
+
     def place(self, batch, merged, now_s: float,
               service_by_node, nodes: list[SimulatedNode]):
         """``[(node, queries), ...]`` covering every query in ``batch``
-        exactly once (empty list: shed the whole batch)."""
+        exactly once (empty list: shed the whole batch).  Under a
+        placement map the simulator pre-groups batches by shard and
+        passes the owning replica set as ``nodes``."""
         raise NotImplementedError
 
     @staticmethod
@@ -625,14 +719,10 @@ class BatchPlacement:
         awake = [n for n in pool if n.awake]
         return awake or pool
 
-
-class LeastLoadedPlacement(BatchPlacement):
-    """The whole batch goes to the awake node finishing it soonest."""
-
-    def place(self, batch, merged, now_s, service_by_node, nodes):
-        # Earliest completion first; a sleeper whose wake fails under a
-        # fault plan is skipped, and an empty list sheds the batch into
-        # the simulator's retry path.
+    def _place_least_loaded(self, batch, now_s, service_by_node, nodes):
+        """Whole batch to the earliest-completion usable node; a
+        sleeper whose wake fails under a fault plan is skipped, and an
+        empty list sheds the batch into the simulator's retry path."""
         pool = sorted(
             self._usable(nodes, now_s),
             key=lambda n: (
@@ -646,6 +736,15 @@ class LeastLoadedPlacement(BatchPlacement):
                 continue
             return [(node, batch.queries)]
         return []
+
+
+class LeastLoadedPlacement(BatchPlacement):
+    """The whole batch goes to the awake node finishing it soonest."""
+
+    def place(self, batch, merged, now_s, service_by_node, nodes):
+        return self._place_least_loaded(
+            batch, now_s, service_by_node, nodes
+        )
 
 
 class ConsolidatePlacement(BatchPlacement):
@@ -686,6 +785,14 @@ class HashSplitPlacement(BatchPlacement):
         self.fanout = fanout
 
     def place(self, batch, merged, now_s, service_by_node, nodes):
+        if self.placement is not None:
+            # Real shard routing: the simulator has already split the
+            # dispatched batch by shard and narrowed ``nodes`` to the
+            # owning replica set, so the remaining decision is which
+            # live replica serves the piece -- the least-loaded one.
+            return self._place_least_loaded(
+                batch, now_s, service_by_node, nodes
+            )
         targets = sorted(
             self._usable(nodes, now_s),
             key=lambda n: (

@@ -59,11 +59,13 @@ from repro.cluster.node import (
     TimelineAccounting,
     node_timeline_pieces,
 )
+from repro.cluster.placement import PlacementMap, replication_copy_trace
 from repro.cluster.playback import play_batched, play_columnar, play_loop
 from repro.cluster.routing import (
     AdaptivePvcRouter,
     ConsolidatePlacement,
     ConsolidateRouter,
+    Decision,
     Router,
 )
 from repro.core.qed.aggregator import NotMergeableError, merge_queries
@@ -227,8 +229,14 @@ class ClusterSimulator:
     nodes playback-equivalent -- the property batched playback
     exploits.  ``sut_factory`` (single-profile fleets) overrides the
     ``"paper"`` profile, preserving the homogeneous-fleet call shape.
-    The shared database models fully replicated data: any node can
-    serve any query.
+    Without a ``placement`` map the shared database models fully
+    replicated data: any node can serve any query.  With one, each
+    placed table is sharded with k replicas across named nodes
+    (:class:`~repro.cluster.placement.PlacementMap`); an arrival is
+    routable only to nodes holding every shard its predicates may
+    touch, consolidating routers keep a quorum of every shard awake,
+    and a crash triggers re-replication copy traffic billed on both
+    endpoints.
     """
 
     def __init__(
@@ -245,12 +253,20 @@ class ClusterSimulator:
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        placement: PlacementMap | None = None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one node")
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
+        if placement is not None:
+            unknown = placement.node_names - set(names)
+            if unknown:
+                raise ValueError(
+                    "placement map references unknown nodes: "
+                    f"{sorted(unknown)}"
+                )
         if master_queue is not None:
             if any(s.queue_policy is not None for s in specs):
                 raise ValueError(
@@ -292,6 +308,12 @@ class ClusterSimulator:
                 )
         self.db = db
         self.router = router
+        self.placement = placement
+        #: Bumped whenever shard ownership changes mid-run (a
+        #: re-replication copy lands); invalidates memoized
+        #: eligible-node lists.
+        self._owner_gen = 0
+        self._eligible_cache: dict = {}
         self.faults = faults
         self.retry = retry if retry is not None else RetryPolicy()
         #: Observability hooks.  The default tracer is the shared no-op
@@ -400,7 +422,120 @@ class ClusterSimulator:
                 f"router {type(self.router).__name__} has no "
                 "route_chunk fast path"
             )
+        if (
+            self.placement is not None
+            and not getattr(self.router, "placement_chunk", False)
+            and self._placement_constrains()
+        ):
+            return (
+                "a placement map constrains routing and router "
+                f"{type(self.router).__name__} has no placement-masked "
+                "route_chunk"
+            )
         return None
+
+    def _placement_constrains(self) -> bool:
+        """Whether the map can ever narrow a routing pool.
+
+        A fully replicated map (every node holds every shard) is
+        vacuous: all pools stay full-fleet, so routers without a
+        masked ``route_chunk`` may still take the fast path and stay
+        bitwise identical to the no-placement run.
+        """
+        all_keys = {
+            (tp.table, shard)
+            for tp in self.placement.tables.values()
+            for shard in range(tp.shards)
+        }
+        return any(
+            not all_keys <= self.placement.shards_of(n.spec.name)
+            for n in self.nodes
+        )
+
+    # -- data placement ---------------------------------------------------
+
+    def _install_placement(self) -> None:
+        """Pin the run's shard ownership onto the fleet.
+
+        Called at the top of every ``schedule()``: each node gets a
+        fresh (mutable) copy of its initial shard set -- re-replication
+        grows a destination's set mid-run, so a prior run's copies must
+        not leak into this one -- and the router learns the map so its
+        quorum logic and ``prepare`` cover can see it.  With no map
+        this resets both to None, reproducing the seed behavior.
+        """
+        placement = self.placement
+        if placement is None:
+            # Leave the class-level ``placement = None`` in charge: an
+            # instance attribute -- even None -- would show up in
+            # ``Router.describe()`` and shift the run fingerprint of
+            # placement-free runs.
+            self.router.__dict__.pop("placement", None)
+        else:
+            self.router.placement = placement
+        self._owner_gen += 1
+        for node in self.nodes:
+            node.shards = (
+                set(placement.shards_of(node.spec.name))
+                if placement is not None else None
+            )
+
+    def _eligible_nodes(self, sql: str) -> list[SimulatedNode] | None:
+        """Nodes holding every shard ``sql`` may touch, or None when
+        the map does not constrain the statement (including the case
+        where every node qualifies -- full-fleet routing is then both
+        correct and identical to the no-placement run)."""
+        if self.placement is None:
+            return None
+        entry = self._eligible_cache.get(sql)
+        if entry is not None and entry[0] == self._owner_gen:
+            return entry[1]
+        required = self.placement.required_shards(sql)
+        if required is None:
+            pool = None
+        else:
+            pool = [
+                n for n in self.nodes
+                if n.shards is not None and required <= n.shards
+            ]
+            if len(pool) == len(self.nodes):
+                pool = None
+        self._eligible_cache[sql] = (self._owner_gen, pool)
+        return pool
+
+    def _route(self, sql: str, now_s: float, service_by_node) -> Decision:
+        """Route one arrival through the placement constraint.
+
+        The router sees only the eligible replica set (in fleet order,
+        so tie-breaks match the vectorized mask form); a statement no
+        live combination of nodes can serve degrades to a refusal --
+        the caller's retry/shed policy takes over, rows are never
+        silently dropped.
+        """
+        pool = self._eligible_nodes(sql)
+        if pool is None:
+            return self.router.route(sql, now_s, service_by_node,
+                                     self.nodes)
+        if not pool:
+            return Decision(None, now_s)
+        return self.router.route(sql, now_s, service_by_node, pool)
+
+    def _eligibility_mask(self, distinct: list[str]) -> np.ndarray | None:
+        """The ``(distinct, nodes)`` bool mask for masked route_chunk,
+        or None when no statement is actually constrained."""
+        if self.placement is None:
+            return None
+        rows = np.ones((len(distinct), len(self.nodes)), dtype=bool)
+        constrained = False
+        for d, sql in enumerate(distinct):
+            required = self.placement.required_shards(sql)
+            if required is None:
+                continue
+            for j, node in enumerate(self.nodes):
+                if node.shards is None or not required <= node.shards:
+                    rows[d, j] = False
+                    constrained = True
+        return rows if constrained else None
 
     def schedule(self, arrivals: list[Arrival],
                  vectorized: bool | None = None) -> ClusterSchedule:
@@ -427,6 +562,22 @@ class ClusterSimulator:
         use_fast = (reason is None) if vectorized is None else vectorized
         arrivals = sorted(arrivals, key=lambda a: a.time_s)
         workload_class = self.db.workload_class
+        self._install_placement()
+        if use_fast and self.placement is not None:
+            # The columnar path cannot shed/queue: a statement with no
+            # eligible node (no node holds all its shards) needs the
+            # loop's degrade policy.
+            unroutable = any(
+                self._eligible_nodes(sql) == []
+                for sql in dict.fromkeys(a.sql for a in arrivals)
+            )
+            if unroutable and vectorized is True:
+                raise ValueError(
+                    "vectorized scheduling unavailable: the placement "
+                    "map leaves some statement with no eligible node "
+                    "(the loop path queues or sheds it)"
+                )
+            use_fast = use_fast and not unroutable
 
         # Every run is stamped with a deterministic identity derived
         # from its full configuration; same config => same run_id.
@@ -436,6 +587,7 @@ class ClusterSimulator:
             retry=self.retry, arrivals=arrivals,
             workload_class=workload_class,
             scale_factor=getattr(self.db, "scale_factor", None),
+            placement=self.placement,
         )
         run_id = run_id_for(fingerprint)
         if use_fast:
@@ -532,9 +684,7 @@ class ClusterSimulator:
                             workload_class, qed,
                         )
                 service_by_node = service_views[arrival.sql]
-                decision = self.router.route(
-                    arrival.sql, now, service_by_node, self.nodes
-                )
+                decision = self._route(arrival.sql, now, service_by_node)
                 if decision.node is None:
                     if active:
                         # No serviceable node right now; the retry
@@ -692,11 +842,16 @@ class ClusterSimulator:
         node_idx = np.empty(n, dtype=np.int64)
         starts = np.empty(n, dtype=np.float64)
         ends = np.empty(n, dtype=np.float64)
+        # Placement constraint as a per-template eligibility mask; None
+        # when no template is constrained, keeping the unconstrained
+        # call shape (and its floats) bit-identical to the seed path.
+        mask = self._eligibility_mask(distinct)
+        route_kwargs = {} if mask is None else {"eligible": mask}
         for lo in range(0, n, self.SCHEDULE_CHUNK):
             hi = min(lo + self.SCHEDULE_CHUNK, n)
             idx, st, en = self.router.route_chunk(
                 times[lo:hi], sql_idx[lo:hi], service, distinct,
-                self.nodes,
+                self.nodes, **route_kwargs,
             )
             node_idx[lo:hi] = idx
             starts[lo:hi] = st
@@ -761,12 +916,14 @@ class ClusterSimulator:
         horizon, empty trace table (the measurement side renders one
         ``[0, 0]`` phase window, mirroring the zero-horizon report)."""
         workload_class = self.db.workload_class
+        self._install_placement()
         fingerprint = config_fingerprint(
             [node.spec for node in self.nodes], self.router,
             master_queue=self.master_queue, faults=self.faults,
             retry=self.retry, arrivals=[],
             workload_class=workload_class,
             scale_factor=getattr(self.db, "scale_factor", None),
+            placement=self.placement,
         )
         run_id = run_id_for(fingerprint)
         self._fault_active = False
@@ -901,12 +1058,107 @@ class ClusterSimulator:
         report.wasted_joules += node.power_estimate().busy_wall_w * wasted
         for sql, arrival_s in lost:
             self._push_retry(sql, arrival_s, at_s, 1, requeue=True)
+        if self.placement is not None:
+            self._start_re_replication(node, at_s)
         if spec.recover_s is not None:
             heapq.heappush(
                 self._fault_events,
                 (spec.recover_s, self._fault_seq, "recover", node, spec),
             )
             self._fault_seq += 1
+
+    def _shard_bytes(self, tname: str, tp) -> float:
+        """One shard's storage footprint (table bytes / shards); zero
+        for placed tables the database does not actually hold."""
+        if not self.db.catalog.has_table(tname):
+            return 0.0
+        return self.db.catalog.table(tname).size_bytes / tp.shards
+
+    @staticmethod
+    def _copy_endpoint(candidates, at_s: float):
+        """The cheapest live endpoint for a re-replication copy:
+        awake-first, then earliest-ready (stable, fleet order breaks
+        ties).  Sleeping candidates are woken -- a wake may fail under
+        the fault plan, falling through to the next candidate."""
+        ranked = sorted(
+            candidates, key=lambda n: (not n.awake, n.ready_s)
+        )
+        for node in ranked:
+            if not node.awake:
+                node.wake(at_s)
+                if not node.awake:
+                    continue
+            return node
+        return None
+
+    def _start_re_replication(self, crashed, at_s: float) -> None:
+        """Restore replication for the shards a dead node held.
+
+        For every shard the crash pushed below its replication target,
+        a live source replica streams a copy to a live node not yet
+        holding the shard.  The copy is compiled-trace work
+        (:func:`~repro.cluster.placement.replication_copy_trace` sized
+        by the shard's storage footprint) assigned to *both* endpoints
+        at crash time, so its busy windows bill joules through normal
+        playback and delay queries queued behind them.  The destination
+        owns the shard from the copy's start -- queries routed there
+        queue behind the in-flight copy (FIFO), which models catch-up
+        reads without a completion callback.  Shards with no live
+        source stay under-replicated: queries for them keep retrying
+        until recovery or dead-letter, never silently dropping rows.
+        """
+        table, durations, _views, workload_class, _shed = self._retry_ctx
+        report = self._fault_report
+        for key in sorted(crashed.shards or ()):
+            tname, shard = key
+            tp = self.placement.for_table(tname)
+            if tp is None:
+                continue
+            holders = [
+                n for n in self.nodes
+                if n is not crashed and n.shards is not None
+                and key in n.shards
+            ]
+            live = [n for n in holders if n.crashed_s is None]
+            if len(live) >= tp.replicas:
+                continue  # replication target still met
+            source = self._copy_endpoint(
+                [n for n in live if n.can_serve(at_s)], at_s
+            )
+            dest = self._copy_endpoint(
+                [
+                    n for n in self.nodes
+                    if n is not crashed and n.shards is not None
+                    and key not in n.shards and n.can_serve(at_s)
+                ],
+                at_s,
+            )
+            if source is None or dest is None:
+                continue  # no live copy (or no room): degrade, retry
+            copy_key = f"<re-replicate {tname}#{shard}>"
+            if copy_key not in table:
+                table[copy_key] = replication_copy_trace(
+                    self._shard_bytes(tname, tp)
+                )
+            for endpoint in (source, dest):
+                service = self._duration_for(
+                    endpoint, copy_key, table, durations, workload_class
+                )
+                endpoint.assign(copy_key, at_s, service, ())
+                report.copy_s += service
+                report.copy_joules += (
+                    endpoint.power_estimate().busy_wall_w * service
+                )
+            dest.shards.add(key)
+            self._owner_gen += 1
+            report.re_replications += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "re-replicate", dest.spec.name, at_s,
+                    table=tname, shard=shard, source=source.spec.name,
+                )
+            if self.metrics is not None:
+                self.metrics.counter("re_replications").inc()
 
     def _push_retry(self, sql: str, arrival_s: float, now_s: float,
                     attempt: int, requeue: bool) -> None:
@@ -946,9 +1198,7 @@ class ClusterSimulator:
         table, durations, service_views, workload_class, shed = (
             self._retry_ctx
         )
-        decision = self.router.route(
-            sql, ready_s, service_views[sql], self.nodes
-        )
+        decision = self._route(sql, ready_s, service_views[sql])
         node = decision.node
         if node is not None and node.awake and node.can_serve(ready_s):
             service = self._duration_for(
@@ -1084,33 +1334,94 @@ class ClusterSimulator:
         merged = None
         if dispatched.mergeable and batch.size > 1:
             merged = merge_queries(batch.sqls)
-        assignments = self.master_queue.placement.place(
-            batch, merged, batch.dispatch_s,
-            service_views[batch.queries[0].sql], self.nodes,
-        )
-        if not assignments:
-            if self._fault_active:
-                # Unplaceable under faults (crashes/failed wakes): each
-                # query re-enters through the retry policy instead of
-                # being silently shed.
-                for q in batch.queries:
-                    self._push_retry(q.sql, q.arrival_s,
-                                     batch.dispatch_s, 1, requeue=False)
+        # Under a placement map the batch first splits by shard
+        # signature -- each piece is servable by one replica set -- and
+        # each piece is placed over its owning replicas only.  With no
+        # map there is a single unconstrained group (the seed path).
+        if self.placement is None:
+            groups = [(batch, merged, None)]
+        else:
+            groups = self._shard_groups(batch, merged)
+        for group_batch, group_merged, pool in groups:
+            if pool is not None and not pool:
+                assignments = []  # no live node holds all its shards
             else:
-                shed.extend(
-                    ShedQuery(q.sql, q.arrival_s) for q in batch.queries
+                assignments = self.master_queue.placement.place(
+                    group_batch, group_merged, group_batch.dispatch_s,
+                    service_views[group_batch.queries[0].sql],
+                    self.nodes if pool is None else pool,
                 )
-            return
-        for node, queries in assignments:
-            shard = (
-                batch if len(queries) == batch.size
-                else Batch(list(queries), batch.dispatch_s)
+            if not assignments:
+                if self._fault_active:
+                    # Unplaceable under faults (crashes/failed wakes,
+                    # under-replicated shards): each query re-enters
+                    # through the retry policy instead of being
+                    # silently shed.
+                    for q in group_batch.queries:
+                        self._push_retry(
+                            q.sql, q.arrival_s, group_batch.dispatch_s,
+                            1, requeue=False,
+                        )
+                else:
+                    shed.extend(
+                        ShedQuery(q.sql, q.arrival_s)
+                        for q in group_batch.queries
+                    )
+                continue
+            for node, queries in assignments:
+                shard = (
+                    group_batch if len(queries) == group_batch.size
+                    else Batch(list(queries), group_batch.dispatch_s)
+                )
+                self._schedule_batch(
+                    node, shard, table, durations, workload_class,
+                    stats=stats,
+                    merged=(
+                        group_merged if shard is group_batch else None
+                    ),
+                )
+
+    def _pool_for_shards(self, required) -> list[SimulatedNode] | None:
+        """Nodes holding every ``(table, shard)`` in ``required``; None
+        when unconstrained (no placed table, or every node holds them
+        all)."""
+        if required is None:
+            return None
+        pool = [
+            n for n in self.nodes
+            if n.shards is not None and required <= n.shards
+        ]
+        if len(pool) == len(self.nodes):
+            return None
+        return pool
+
+    def _shard_groups(self, batch: Batch, merged):
+        """Split one dispatched batch by shard signature.
+
+        Queries sharing a signature stay one (still mergeable) piece;
+        a single-signature batch passes through whole, keeping its
+        pre-computed merged form.  Returns ``[(batch, merged, pool),
+        ...]`` where ``pool`` is the piece's eligible replica set (None
+        = unconstrained).
+        """
+        order: list = []
+        buckets: dict = {}
+        for q in batch.queries:
+            key = self.placement.required_shards(q.sql)
+            if key not in buckets:
+                order.append(key)
+                buckets[key] = []
+            buckets[key].append(q)
+        if len(order) == 1:
+            return [(batch, merged, self._pool_for_shards(order[0]))]
+        return [
+            (
+                Batch(list(buckets[key]), batch.dispatch_s),
+                None,
+                self._pool_for_shards(key),
             )
-            self._schedule_batch(
-                node, shard, table, durations, workload_class,
-                stats=stats,
-                merged=merged if shard is batch else None,
-            )
+            for key in order
+        ]
 
     def _dispatch_node_batch(
         self,

@@ -1252,3 +1252,250 @@ def run_fault_ablation(
         retry_backoff_s=FAULT_RETRY_BACKOFF_S * scale,
         modes=modes,
     )
+
+
+# -- replication ablation: placement + quorum consolidation under crash ----
+
+#: Canonical replication-recovery scenario, shared by
+#: ``benchmarks/bench_replication.py`` and ``scripts/perf_report.py``
+#: so both write comparable ``replication`` records.  The fleet holds a
+#: hash-partitioned lineitem (``REPL_SHARDS`` shards x
+#: ``REPL_REPLICAS`` replicas, chained declustering) and the plan
+#: strikes the same phase of the run as the canonical fault plan: a
+#: straggler window inflates node00's service times, a crash then kills
+#: it mid-batch -- taking a replica of every shard it held and
+#: triggering re-replication copy traffic billed on both endpoints --
+#: and a transient-unavailability window keeps node03 out of the pool
+#: early on.  There is deliberately *no* wake-failure fault: the crash
+#: must always find a wakeable source and destination, so the
+#: restored-replication gate is deterministic.  Times are in stream
+#: seconds at the reference SF and rescale exactly like the stream.
+REPL_SHARDS = 4
+REPL_REPLICAS = 2
+REPL_QUORUM = 1
+REPL_TABLE = "lineitem"
+
+
+def replication_plan(sf: float | None = None):
+    """The canonical replication fault plan, time-rescaled to ``sf``."""
+    from repro.cluster import FaultPlan, FaultSpec
+
+    scale = sf / FAULT_REFERENCE_SF if sf else 1.0
+    return FaultPlan([
+        FaultSpec("straggler", "node00",
+                  start_s=FAULT_STRAGGLER_START_S * scale,
+                  end_s=FAULT_STRAGGLER_END_S * scale,
+                  slowdown=FAULT_STRAGGLER_SLOWDOWN),
+        FaultSpec("crash", "node00",
+                  at_s=FAULT_CRASH_AT_S * scale,
+                  recover_s=FAULT_RECOVER_AT_S * scale),
+        FaultSpec("unavailable", "node03",
+                  start_s=FAULT_UNAVAILABLE_S[0] * scale,
+                  end_s=FAULT_UNAVAILABLE_S[1] * scale),
+    ], seed=FAULT_PLAN_SEED)
+
+
+def replication_stream(sf: float | None = None):
+    """The canonical Poisson stream the replicated fleet serves.
+
+    ``REPRO_BENCH_REPLICATION_ARRIVALS`` shrinks it for CI smoke runs
+    (keep it long enough to outlive the crash); ``sf`` rescales
+    interarrival times like :func:`fault_ablation_stream`.
+    """
+    import os
+
+    from repro.workloads.arrivals import poisson_arrivals
+    from repro.workloads.selection import selection_workload
+
+    count = int(os.environ.get("REPRO_BENCH_REPLICATION_ARRIVALS",
+                               str(FAULT_ARRIVALS)))
+    scale = sf / FAULT_REFERENCE_SF if sf else 1.0
+    base = selection_workload(FAULT_DISTINCT).queries
+    queries = [base[i % FAULT_DISTINCT] for i in range(count)]
+    return poisson_arrivals(
+        queries, FAULT_MEAN_INTERARRIVAL_S * scale, seed=FAULT_SEED
+    )
+
+
+def replication_placement(specs):
+    """The canonical placement map over a fleet's node names."""
+    from repro.cluster import generate_placement
+
+    return generate_placement(
+        specs, shards=REPL_SHARDS, replicas=REPL_REPLICAS,
+        table=REPL_TABLE, quorum=REPL_QUORUM,
+    )
+
+
+@dataclass
+class ReplicationAblation:
+    """Quorum-aware consolidation vs spread on a replicated fleet.
+
+    The acceptance claim: with lineitem hash-partitioned into
+    replicated shards, quorum-constrained consolidation still spends no
+    more energy than the always-awake spread baseline at an equal
+    SLA-miss budget -- *while a crash and its re-replication copy
+    traffic are in flight* -- and replication is restored (every shard
+    back to its replica target by the end of the run) without silently
+    losing a query.
+    """
+
+    arrivals: int
+    nodes: int
+    shards: int
+    replicas: int
+    quorum: int
+    scale_factor: float | None
+    sla_s: float
+    sla_budget: float
+    retry_max: int
+    retry_backoff_s: float
+    modes: dict
+
+    @property
+    def _budget(self) -> float:
+        return self.sla_budget * self.arrivals
+
+    def _within_budget(self, name: str) -> bool:
+        return self.modes[name]["sla_misses"] <= self._budget
+
+    @property
+    def consolidate_beats_spread(self) -> bool:
+        return (
+            self.modes["consolidate"]["wall_joules"]
+            <= self.modes["spread"]["wall_joules"]
+            and self._within_budget("consolidate")
+            and self._within_budget("spread")
+        )
+
+    @property
+    def consolidate_vs_spread_saving(self) -> float:
+        return 1.0 - (
+            self.modes["consolidate"]["wall_joules"]
+            / self.modes["spread"]["wall_joules"]
+        )
+
+    @property
+    def conserved(self) -> bool:
+        """No query silently lost in either mode."""
+        return all(m["conserved"] for m in self.modes.values())
+
+    @property
+    def re_replicated(self) -> bool:
+        """The crash actually triggered shard copies in both modes."""
+        return all(
+            m["faults"]["re_replications"] >= 1
+            for m in self.modes.values()
+        )
+
+    @property
+    def restored(self) -> bool:
+        """Every shard is back at (or above) its replica target on
+        live nodes by the end of the run, in both modes."""
+        return all(m["restored"] for m in self.modes.values())
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["consolidate_beats_spread"] = self.consolidate_beats_spread
+        out["consolidate_vs_spread_saving"] = (
+            self.consolidate_vs_spread_saving
+        )
+        out["conserved"] = self.conserved
+        out["re_replicated"] = self.re_replicated
+        out["restored"] = self.restored
+        return out
+
+
+def run_replication_ablation(
+    db: Database,
+    scale_factor: float | None = None,
+    trace_cache: TraceCache | None = None,
+) -> ReplicationAblation:
+    """Run the canonical replication scenario under both fleet modes."""
+    from repro.cluster import (
+        ClusterSimulator,
+        DynamicConsolidateRouter,
+        RetryPolicy,
+        RoundRobinRouter,
+        uniform_fleet,
+    )
+
+    stream = replication_stream(scale_factor)
+    scale = (
+        scale_factor / FAULT_REFERENCE_SF if scale_factor else 1.0
+    )
+    sla_s = FAULT_SLA_S * scale
+    retry = RetryPolicy(max_attempts=FAULT_RETRY_MAX,
+                        backoff_s=FAULT_RETRY_BACKOFF_S * scale)
+    specs = uniform_fleet(FAULT_NODES,
+                          wake_latency_s=FAULT_WAKE_LATENCY_S * scale)
+    placement = replication_placement(specs)
+    expected = sorted((a.sql, a.time_s) for a in stream)
+
+    def router_for(name: str):
+        if name == "spread":
+            return RoundRobinRouter()
+        return DynamicConsolidateRouter(
+            max_backlog_s=sla_s, target_utilization=0.5
+        )
+
+    modes: dict[str, dict] = {}
+    for name in ("spread", "consolidate"):
+        sim = ClusterSimulator(db, specs, router_for(name),
+                               trace_cache=trace_cache,
+                               faults=replication_plan(scale_factor),
+                               retry=retry, placement=placement)
+        m = sim.run(stream)
+        outcomes = sorted(
+            [(r.sql, r.arrival_s) for r in m.responses]
+            + [(s.sql, s.arrival_s) for s in m.shed]
+        )
+        report = m.faults
+        live_holders = {
+            key: sum(
+                1 for node in sim.nodes
+                if node.crashed_s is None
+                and node.shards is not None and key in node.shards
+            )
+            for tp in placement.tables.values()
+            for key in (
+                (tp.table, shard) for shard in range(tp.shards)
+            )
+        }
+        modes[name] = {
+            "run_id": m.run_id,
+            "wall_joules": m.wall_joules,
+            "edp": m.edp,
+            "horizon_s": m.horizon_s,
+            "served": m.served,
+            "shed": len(m.shed),
+            "sla_misses": m.sla_violations(sla_s),
+            "p95_response_s": m.p95_response_s,
+            "busy_s": sum(n.busy_s for n in m.nodes),
+            "awake_node_s": m.awake_node_s,
+            "faults": report.to_dict(),
+            "sla_split": m.sla_split(sla_s),
+            "min_live_holders": min(live_holders.values()),
+            "restored": all(
+                count >= placement.for_table(table).replicas
+                for (table, _shard), count in live_holders.items()
+            ),
+            "conserved": (
+                outcomes == expected
+                and len(m.shed) == report.dead_lettered
+            ),
+        }
+
+    return ReplicationAblation(
+        arrivals=len(stream),
+        nodes=FAULT_NODES,
+        shards=REPL_SHARDS,
+        replicas=REPL_REPLICAS,
+        quorum=REPL_QUORUM,
+        scale_factor=scale_factor,
+        sla_s=sla_s,
+        sla_budget=FAULT_SLA_BUDGET,
+        retry_max=FAULT_RETRY_MAX,
+        retry_backoff_s=FAULT_RETRY_BACKOFF_S * scale,
+        modes=modes,
+    )

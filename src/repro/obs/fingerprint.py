@@ -94,12 +94,16 @@ def config_fingerprint(
     arrivals=None,
     workload_class: str = "",
     scale_factor: float | None = None,
+    placement=None,
 ) -> dict:
     """Everything that shapes a run's outcome, as a JSON-able dict.
 
     An *empty* fault plan fingerprints as no plan at all -- it injects
     nothing, and the simulator's identity guard promises byte-equal
-    runs either way.
+    runs either way.  A data-placement map contributes its full shard
+    layout under ``"placement"``; the key is present only when a map is
+    active, so no-placement fingerprints (and their run-ids) are
+    unchanged from the fully-replicated seed.
     """
     plan = None
     if faults is not None and not faults.empty:
@@ -111,7 +115,7 @@ def config_fingerprint(
             "policy": describe_policy(master_queue.policy),
             "placement": describe_policy(master_queue.placement),
         }
-    return {
+    out = {
         "fleet": describe_fleet(specs),
         "router": describe_policy(router),
         "qed": qed,
@@ -123,6 +127,9 @@ def config_fingerprint(
         "workload_class": workload_class,
         "scale_factor": scale_factor,
     }
+    if placement is not None:
+        out["placement"] = placement.to_dict()
+    return out
 
 
 def run_id_for(fingerprint: dict) -> str:

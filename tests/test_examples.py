@@ -18,6 +18,7 @@ SCRIPTS = [
     "diurnal_consolidation.py",
     "master_qed.py",
     "faulty_fleet.py",
+    "replicated_fleet.py",
 ]
 
 
