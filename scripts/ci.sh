@@ -2,7 +2,7 @@
 # CI entry point, tiered so the workflow can fan stages out:
 #
 #   scripts/ci.sh                  # everything (lint -> tests -> perf -> cluster -> obs)
-#   scripts/ci.sh --stage lint     # syntax/bytecode sanity only
+#   scripts/ci.sh --stage lint     # compile + pyflakes + mypy + repro lint
 #   scripts/ci.sh --stage tests    # tier-1 pytest suite
 #   scripts/ci.sh --stage perf     # sweep perf smoke bench
 #   scripts/ci.sh --stage cluster  # cluster + diurnal + qed smoke benches
@@ -32,13 +32,35 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 SMOKE_JSON="${TMPDIR:-/tmp}/BENCH_perf_smoke.json"
 
 run_lint() {
-    echo "== lint (compile + pyflakes if available) =="
+    echo "== lint (compile + pyflakes + mypy + repro analysis) =="
     python -m compileall -q src tests benchmarks scripts examples
+
+    # pyflakes and mypy ride in requirements-ci.txt, so under CI they
+    # are mandatory; locally they soft-skip when not installed.
     if python -c "import pyflakes" 2>/dev/null; then
         python -m pyflakes src tests benchmarks scripts examples
+    elif [ -n "${CI:-}" ]; then
+        echo "pyflakes is required under CI (requirements-ci.txt)" >&2
+        exit 1
     else
-        echo "pyflakes not installed; bytecode compile only"
+        echo "pyflakes not installed; skipping (mandatory under CI)"
     fi
+
+    if python -c "import mypy" 2>/dev/null; then
+        python -m mypy --config-file mypy.ini
+    elif [ -n "${CI:-}" ]; then
+        echo "mypy is required under CI (requirements-ci.txt)" >&2
+        exit 1
+    else
+        echo "mypy not installed; skipping (mandatory under CI)"
+    fi
+
+    echo "== analysis (repro lint: determinism/obs/lock invariants) =="
+    local lint_dir="${REPRO_CI_LINT_DIR:-${TMPDIR:-/tmp}/repro-ci-lint}"
+    mkdir -p "$lint_dir"
+    python -m repro lint --format json > "$lint_dir/repro-lint.json" \
+        || { cat "$lint_dir/repro-lint.json"; exit 1; }
+    python -m repro lint
 }
 
 run_tests() {

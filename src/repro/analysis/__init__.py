@@ -1,0 +1,23 @@
+"""Project invariant linter: AST rules enforcing the simulator's
+structural guarantees (determinism, zero-cost observability, trace
+store lock discipline).  Run it as ``python -m repro lint``."""
+
+from repro.analysis.engine import (
+    Finding,
+    Linter,
+    Module,
+    Rule,
+    all_rules,
+    register,
+    rule_catalog,
+)
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "Module",
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_catalog",
+]

@@ -1,0 +1,46 @@
+"""``python -m repro lint``: run the invariant rules over the repo.
+
+Exit status: 0 when clean (warnings allowed), 1 on any error-severity
+finding, 2 on usage errors.  ``--format json`` emits a machine-readable
+report (the CI ``lint`` stage uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import (
+    SEVERITY_ERROR,
+    Linter,
+    iter_python_files,
+    render_json,
+    render_text,
+)
+
+#: Scanned when no paths are given (relative to the invocation cwd).
+DEFAULT_PATHS = ("src", "scripts", "benchmarks", "examples", "tests")
+
+
+def run_lint(paths: list[str] | None, fmt: str = "text") -> int:
+    if not paths:
+        paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print("repro lint: no default paths found; pass files or "
+                  "directories explicitly")
+            return 2
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}")
+        return 2
+    files = list(iter_python_files(paths))
+    linter = Linter()
+    findings = []
+    for display, path in files:
+        findings.extend(linter.lint_file(path, display))
+    findings.sort()
+    if fmt == "json":
+        print(render_json(findings, len(files), list(paths)))
+    else:
+        print(render_text(findings, len(files)))
+    has_errors = any(f.severity == SEVERITY_ERROR for f in findings)
+    return 1 if has_errors else 0

@@ -1,0 +1,5 @@
+"""Rule registration: importing this package registers every rule."""
+
+from repro.analysis.rules import determinism, lock_store, obs_guard
+
+__all__ = ["determinism", "lock_store", "obs_guard"]

@@ -1,0 +1,160 @@
+"""LOCK-STORE: writer-lock discipline in the columnar trace store.
+
+:class:`repro.hardware.trace_store.ColumnarTraceStore` is the one
+genuinely concurrent component: many processes append to one
+``store-<ns>.rows`` tail and republish the JSON row-span index.  Its
+safety argument is *first-writer-wins under an fcntl writer lock* --
+every tail write and index publication happens inside
+``with self._writer_lock():``, and readers never lock.
+
+This rule is a static race detector for that argument: it walks the
+module's call graph from its entry points (functions nothing in the
+module calls) and flags any mutation primitive reachable without the
+lock held.  Mutation primitives are
+
+* a writable ``open()`` of the ``rows_path`` container,
+* ``os.replace()`` onto the ``index_path``, and
+* any call to ``_publish_index``.
+
+A helper whose only call sites sit inside the lock (like
+``_publish_index`` itself) is compliant; a new code path that reaches a
+tail write without first taking the lock is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import (
+    Finding,
+    Module,
+    Rule,
+    dotted_name,
+    register,
+    terminal_name,
+)
+
+_LOCK_NAME = "_writer_lock"
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _writable_mode(call: ast.Call) -> bool:
+    mode = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False  # default 'r'
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in mode.value for c in "awx+")
+    return True  # dynamic mode: assume the worst
+
+
+def _primitives(body: list[ast.stmt]) -> list[tuple[ast.Call, str]]:
+    """Mutation primitives in a statement list (nested defs excluded)."""
+    out: list[tuple[ast.Call, str]] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FuncDef):
+            continue
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "open" and node.args and terminal_name(
+                node.args[0]
+            ) == "rows_path" and _writable_mode(node):
+                out.append((node, "writable open of the rows tail"))
+            elif terminal_name(node.func) == "_publish_index":
+                out.append((node, "index republication"))
+            elif name == "os.replace":
+                if len(node.args) >= 2 and terminal_name(
+                    node.args[1]
+                ) == "index_path":
+                    out.append(
+                        (node, "os.replace onto the published index")
+                    )
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _in_lock(module: Module, node: ast.AST) -> bool:
+    """Is ``node`` lexically inside ``with ..._writer_lock():``?"""
+    for anc in module.ancestors(node):
+        if isinstance(anc, _FuncDef):
+            return False
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            for item in anc.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Call) and terminal_name(
+                    ctx.func
+                ) == _LOCK_NAME:
+                    return True
+    return False
+
+
+@register
+class LockStoreRule(Rule):
+    """Tail writes/index publication reachable only under the lock."""
+
+    rule_id = "LOCK-STORE"
+    invariant = ("every store-*.rows tail write and index "
+                 "republication is reachable only from inside the "
+                 "fcntl writer-lock context manager")
+    include = ("src/repro/*",)
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        funcs: dict[str, list[ast.AST]] = {}
+        for f in module.functions():
+            funcs.setdefault(f.name, []).append(f)
+
+        calls_in: dict[ast.AST | None, list[ast.Call]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                calls_in.setdefault(
+                    module.enclosing_function(node), []
+                ).append(node)
+
+        violations: dict[ast.Call, str] = {}
+        visited: set[tuple[int, bool]] = set()
+
+        def visit(func: ast.AST | None, locked: bool) -> None:
+            key = (id(func), locked)
+            if key in visited:
+                return
+            visited.add(key)
+            body = module.tree.body if func is None else func.body
+            for prim, why in _primitives(body):
+                if not locked and not _in_lock(module, prim):
+                    violations.setdefault(
+                        prim,
+                        f"{why} reachable without the writer lock; "
+                        f"wrap the path in 'with "
+                        f"self.{_LOCK_NAME}():' (first-writer-wins "
+                        "depends on it)",
+                    )
+            for call in calls_in.get(func, []):
+                callee = terminal_name(call.func)
+                if callee == _LOCK_NAME or callee not in funcs:
+                    continue
+                child_locked = locked or _in_lock(module, call)
+                for target in funcs[callee]:
+                    visit(target, child_locked)
+
+        # Entry points: module level plus every function nothing in
+        # this module calls (external callers hold no lock).
+        visit(None, False)
+        for name, defs in funcs.items():
+            if not module.call_sites(name):
+                for f in defs:
+                    visit(f, False)
+
+        return [
+            self.finding(module, node, message)
+            for node, message in sorted(
+                violations.items(),
+                key=lambda kv: (kv[0].lineno, kv[0].col_offset),
+            )
+        ]

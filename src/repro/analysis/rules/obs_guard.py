@@ -1,0 +1,289 @@
+"""OBS-GUARD: zero-cost-disabled observability hooks.
+
+The cluster hot paths (scheduler event loop, node playback, master
+queue) promise that a run with tracing and metrics disabled is
+bitwise-identical to seed behavior and pays only dead branch checks.
+That only holds if every ``tracer.*`` / ``metrics.*`` touch sits under
+an ``if tracing:`` / ``if metrics is not None:`` guard (or equivalent:
+``if self.tracer.enabled:``, an early ``if metrics is None: return``).
+
+Private helpers may rely on their callers holding the guard -- the rule
+accepts an unguarded touch inside ``_helper`` when *every* in-module
+call site of ``_helper`` is itself guarded (transitively).  Public
+functions must guard internally: external callers can't be audited.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import (
+    Finding,
+    Module,
+    Rule,
+    register,
+    terminal_name,
+)
+
+_KIND_NAMES = ("tracer", "metrics")
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _guard_label(kind: str) -> str:
+    return ("if tracing: / if tracer.enabled:" if kind == "tracer"
+            else "if metrics is not None:")
+
+
+class _Scope:
+    """Per-function alias/flag environment for one observable kind."""
+
+    def __init__(self, func: ast.AST | None, module: Module):
+        self.func = func
+        # names that *are* the tracer/metrics object in this scope
+        self.names: dict[str, set[str]] = {
+            k: {k} for k in _KIND_NAMES
+        }
+        # boolean flags holding a guard result (tracing = tracer.enabled)
+        self.flags: dict[str, set[str]] = {
+            "tracer": {"tracing"}, "metrics": set(),
+        }
+        body = module.tree.body if func is None else func.body
+        for node in _walk_scope(body):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if not targets:
+                continue
+            kind = self.kind_of(node.value)
+            if kind is not None:
+                self.names[kind].update(targets)
+                continue
+            for k in _KIND_NAMES:
+                if _positive_guard(node.value, k, self):
+                    self.flags[k].update(targets)
+
+    def kind_of(self, node: ast.AST) -> str | None:
+        """Which observable object an expression terminates in."""
+        name = terminal_name(node)
+        if name is None:
+            return None
+        for kind in _KIND_NAMES:
+            if name in self.names[kind]:
+                return kind
+        return None
+
+
+def _walk_scope(body: list[ast.stmt]):
+    """Walk statements without descending into nested functions."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FuncDef):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _positive_guard(test: ast.AST, kind: str, scope: _Scope) -> bool:
+    """Does ``test`` being truthy imply the kind is enabled/attached?"""
+    if isinstance(test, ast.Name):
+        return (test.id in scope.flags[kind]
+                or (kind == "metrics" and test.id in scope.names[kind])
+                or (kind == "tracer" and test.id in scope.names[kind]))
+    if isinstance(test, ast.Attribute):
+        return (test.attr == "enabled"
+                and scope.kind_of(test.value) == kind)
+    if isinstance(test, ast.Compare):
+        return (
+            len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and scope.kind_of(test.left) == kind
+        )
+    if isinstance(test, ast.BoolOp):
+        values = [
+            _positive_guard(v, kind, scope) for v in test.values
+        ]
+        return (any(values) if isinstance(test.op, ast.And)
+                else all(values))
+    return False
+
+
+def _negative_guard(test: ast.AST, kind: str, scope: _Scope) -> bool:
+    """Does ``test`` being truthy imply the kind is disabled/absent?"""
+    if isinstance(test, ast.Compare):
+        return (
+            len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+            and scope.kind_of(test.left) == kind
+        )
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _positive_guard(test.operand, kind, scope)
+    return False
+
+
+def _terminates(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue,
+                             ast.Break))
+
+
+@register
+class ObsGuardRule(Rule):
+    """Every tracer/metrics touch in the hot paths is guarded."""
+
+    rule_id = "OBS-GUARD"
+    invariant = ("tracer./metrics. touches in scheduler/node/"
+                 "master-queue hot paths sit under if tracing: / "
+                 "if metrics is not None: (zero-cost disabled)")
+    include = ("src/repro/cluster/*", "src/repro/cli.py")
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        scopes: dict[ast.AST | None, _Scope] = {}
+
+        def scope_for(func: ast.AST | None) -> _Scope:
+            if func not in scopes:
+                scopes[func] = _Scope(func, module)
+            return scopes[func]
+
+        funcs = {
+            f.name: f for f in module.functions()
+        }
+        dup_names = {
+            name for name in funcs
+            if sum(1 for f in module.functions() if f.name == name) > 1
+        }
+
+        # direct unguarded touches per function (None = module level)
+        unguarded: dict[ast.AST | None, list[tuple[ast.AST, str]]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr == "enabled":
+                continue
+            func = module.enclosing_function(node)
+            scope = scope_for(func)
+            kind = scope.kind_of(node.value)
+            if kind is None:
+                continue
+            # skip the target side of `self.tracer.x = ...`? there is
+            # none in practice; reads and calls are what we guard.
+            if not self._is_guarded(module, node, kind, scope):
+                unguarded.setdefault(func, []).append((node, kind))
+
+        caller_safe_memo: dict[tuple[str, str], bool] = {}
+
+        def call_guarded(call: ast.Call, kind: str) -> bool:
+            func = module.enclosing_function(call)
+            scope = scope_for(func)
+            if self._is_guarded(module, call, kind, scope):
+                return True
+            if func is None or not func.name.startswith("_"):
+                return False
+            return callers_guarded(func.name, kind)
+
+        def callers_guarded(fname: str, kind: str) -> bool:
+            """All in-module call sites of ``fname`` hold the guard."""
+            key = (fname, kind)
+            if key in caller_safe_memo:
+                return caller_safe_memo[key]
+            caller_safe_memo[key] = False  # cycles are unguarded
+            if fname in dup_names:
+                return False
+            sites = module.call_sites(fname)
+            ok = bool(sites) and all(
+                call_guarded(site, kind) for site in sites
+            )
+            caller_safe_memo[key] = ok
+            return ok
+
+        findings: list[Finding] = []
+        for func, touches in unguarded.items():
+            fname = getattr(func, "name", None)
+            helper = (fname is not None and fname.startswith("_")
+                      and fname not in dup_names)
+            for node, kind in touches:
+                if helper and callers_guarded(fname, kind):
+                    continue
+                where = (f"helper '{fname}' is not guarded at every "
+                         f"call site" if helper
+                         else "unguarded hot-path hook")
+                findings.append(self.finding(
+                    module, node,
+                    f"{kind} touch outside a "
+                    f"'{_guard_label(kind)}' guard ({where}); "
+                    "disabled observability must cost one dead branch",
+                ))
+        return findings
+
+    def _is_guarded(self, module: Module, node: ast.AST, kind: str,
+                    scope: _Scope) -> bool:
+        # Lexical guard: an ancestor branch conditioned on the kind.
+        prev: ast.AST = node
+        for anc in module.ancestors(node):
+            if isinstance(anc, _FuncDef):
+                break
+            if isinstance(anc, ast.If):
+                if prev in anc.body and _positive_guard(
+                    anc.test, kind, scope
+                ):
+                    return True
+                if prev in anc.orelse and _negative_guard(
+                    anc.test, kind, scope
+                ):
+                    return True
+            elif isinstance(anc, ast.IfExp):
+                if prev is anc.body and _positive_guard(
+                    anc.test, kind, scope
+                ):
+                    return True
+                if prev is anc.orelse and _negative_guard(
+                    anc.test, kind, scope
+                ):
+                    return True
+            elif isinstance(anc, ast.While):
+                if prev in anc.body and _positive_guard(
+                    anc.test, kind, scope
+                ):
+                    return True
+            elif isinstance(anc, ast.BoolOp) and isinstance(
+                anc.op, ast.And
+            ):
+                idx = next(
+                    (i for i, v in enumerate(anc.values) if v is prev),
+                    None,
+                )
+                if idx is not None and any(
+                    _positive_guard(v, kind, scope)
+                    for v in anc.values[:idx]
+                ):
+                    return True
+            prev = anc
+        # Early-exit guard: `if metrics is None: return` before us at
+        # the top level of the enclosing function.
+        func = scope.func
+        if func is None:
+            return False
+        top = prev if prev in getattr(func, "body", []) else None
+        if top is None:
+            for anc in [node] + list(module.ancestors(node)):
+                if anc in func.body:
+                    top = anc
+                    break
+        if top is None:
+            return False
+        for stmt in func.body:
+            if stmt is top:
+                return False
+            if (
+                isinstance(stmt, ast.If)
+                and _negative_guard(stmt.test, kind, scope)
+                and stmt.body and _terminates(stmt.body[-1])
+            ):
+                return True
+        return False

@@ -16,6 +16,7 @@
         --quorum majority --faults examples/fault_plan.json
     python -m repro cluster --placement examples/placement.json \
         --policy dynamic
+    python -m repro lint                       # invariant linter
     python -m repro experiments --sf 0.02      # everything, compact
 
 Each reproduction command prints a paper-vs-measured table (see
@@ -516,6 +517,12 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args.paths, fmt=args.format)
+
+
 def cmd_obs_report(args) -> int:
     from repro.obs import (
         load_trace,
@@ -737,6 +744,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
     r.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter (determinism, zero-cost "
+             "observability, trace-store lock discipline)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src scripts "
+                        "benchmarks examples tests)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="text findings or a machine-readable JSON "
+                        "report")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("experiments", help="run everything")
     p.add_argument("--sf", type=float, default=0.02)

@@ -102,6 +102,6 @@ class SleepingServerModel:
         qed = self.sleep_between_batches(
             window_s, batched_busy_s, batched_wall_j
         )
-        if base.total_wall_j == 0:
+        if base.total_wall_j == 0:  # repro: noqa[FLOAT-EQ]: division guard on the exact-zero degenerate window
             return 0.0
         return 1.0 - qed.total_wall_j / base.total_wall_j

@@ -77,7 +77,7 @@ class Psu:
 
     def wall_power_w(self, dc_load_w: float) -> float:
         """Wall draw for a DC load, including conversion losses."""
-        if dc_load_w == 0:
+        if dc_load_w == 0:  # repro: noqa[FLOAT-EQ]: exact zero DC load selects standby draw
             return self.spec.standby_w
         return dc_load_w / self.efficiency(dc_load_w)
 

@@ -35,6 +35,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import TextIO
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from repro.hardware.trace import CompiledTrace, ROW_DTYPE
 try:  # POSIX writer lock; the store degrades to atomic-index-only
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platform
-    fcntl = None
+    fcntl = None  # type: ignore[assignment]
 
 INDEX_FORMAT = "repro-trace-store"
 INDEX_VERSION = 1
@@ -59,7 +60,8 @@ def _digest(namespace: str, key: str) -> str:
 class ColumnarTraceStore:
     """Append-only (key -> row span) store over one container file."""
 
-    def __init__(self, directory: str | Path, namespace: str = ""):
+    def __init__(self, directory: str | Path,
+                 namespace: str = "") -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.namespace = namespace
@@ -70,7 +72,7 @@ class ColumnarTraceStore:
         self.index_path = self.directory / f"{stem}.index.json"
         self._lock_path = self.directory / f"{stem}.lock"
         self._index: dict | None = None
-        self._index_stamp: tuple | None = None
+        self._index_stamp: tuple[int, int] | None = None
         self._rows: np.ndarray | None = None
 
     # -- index ----------------------------------------------------------
@@ -90,15 +92,18 @@ class ColumnarTraceStore:
 
     def _index_view(self, refresh: bool = False) -> dict:
         """Cached index, reloaded when the file on disk changed."""
+        stamp: tuple[int, int] | None
         try:
             st = self.index_path.stat()
             stamp = (st.st_mtime_ns, st.st_size)
         except OSError:
             stamp = None
-        if refresh or self._index is None or stamp != self._index_stamp:
-            self._index = self._read_index()
+        index = self._index
+        if refresh or index is None or stamp != self._index_stamp:
+            index = self._read_index()
+            self._index = index
             self._index_stamp = stamp
-        return self._index
+        return index
 
     def _publish_index(self, entries: dict) -> None:
         doc = {
@@ -207,24 +212,24 @@ class ColumnarTraceStore:
             }
             self._publish_index(entries)
 
-    def _writer_lock(self):
+    def _writer_lock(self) -> _FileLock:
         return _FileLock(self._lock_path)
 
 
 class _FileLock:
     """Exclusive advisory lock serializing writers on one namespace."""
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path) -> None:
         self.path = path
-        self._fh = None
+        self._fh: TextIO | None = None
 
-    def __enter__(self):
+    def __enter__(self) -> _FileLock:
         if fcntl is not None:
             self._fh = open(self.path, "w")
             fcntl.flock(self._fh, fcntl.LOCK_EX)
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         if self._fh is not None:
             fcntl.flock(self._fh, fcntl.LOCK_UN)
             self._fh.close()

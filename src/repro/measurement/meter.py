@@ -21,7 +21,7 @@ class InstrumentedReading:
 
     @property
     def epu_error(self) -> float:
-        if self.exact_cpu_joules == 0:
+        if self.exact_cpu_joules == 0:  # repro: noqa[FLOAT-EQ]: division guard on the exact-zero integral
             return 0.0
         return (
             (self.epu_cpu_joules - self.exact_cpu_joules)

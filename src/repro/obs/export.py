@@ -24,7 +24,9 @@ either.
 from __future__ import annotations
 
 import json
+from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import RECONCILE_TOLERANCE, energy_attribution
 from repro.obs.tracer import MASTER_TRACK, SpanTracer, TERMINAL_PHASES
 
@@ -32,9 +34,9 @@ TRACE_FORMAT = "repro-obs-trace"
 TRACE_VERSION = 1
 
 
-def trace_metadata(tracer: SpanTracer, measurement=None) -> dict:
+def trace_metadata(tracer: SpanTracer, measurement: Any = None) -> dict:
     """The self-describing meta record embedded in every export."""
-    meta = {
+    meta: dict = {
         "format": TRACE_FORMAT,
         "version": TRACE_VERSION,
         "horizon_s": tracer.horizon_s,
@@ -48,7 +50,7 @@ def trace_metadata(tracer: SpanTracer, measurement=None) -> dict:
 
 
 def export_jsonl(path: str, tracer: SpanTracer,
-                 measurement=None) -> dict:
+                 measurement: Any = None) -> dict:
     """Write the trace as JSONL; returns the meta record."""
     meta = trace_metadata(tracer, measurement)
     with open(path, "w") as handle:
@@ -63,7 +65,7 @@ def _track_tids(tracks: list[str]) -> dict[str, int]:
 
 
 def export_chrome(path: str, tracer: SpanTracer,
-                  measurement=None) -> dict:
+                  measurement: Any = None) -> dict:
     """Write the trace as Chrome/Perfetto ``trace_event`` JSON."""
     meta = trace_metadata(tracer, measurement)
     tids = _track_tids(tracer.tracks)
@@ -109,14 +111,14 @@ def export_chrome(path: str, tracer: SpanTracer,
 
 
 def write_trace(path: str, tracer: SpanTracer,
-                measurement=None) -> dict:
+                measurement: Any = None) -> dict:
     """Export in the format the extension implies (.jsonl or Chrome)."""
     if path.endswith(".jsonl"):
         return export_jsonl(path, tracer, measurement)
     return export_chrome(path, tracer, measurement)
 
 
-def write_metrics(path: str, registry) -> dict:
+def write_metrics(path: str, registry: MetricsRegistry) -> dict:
     doc = registry.to_dict()
     with open(path, "w") as handle:
         json.dump(doc, handle, indent=2)

@@ -20,11 +20,13 @@ from __future__ import annotations
 import hashlib
 import json
 import zlib
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
 
 
-def describe_policy(obj) -> dict | None:
+def describe_policy(obj: Any) -> dict | None:
     """A policy object's scalar configuration, for fingerprinting.
 
     Uses the object's own ``describe()`` when it defines one; otherwise
@@ -54,9 +56,9 @@ def describe_policy(obj) -> dict | None:
     return out
 
 
-def describe_fleet(specs) -> list[dict]:
+def describe_fleet(specs: Iterable[Any]) -> list[dict]:
     """Node specs as plain dicts (settings via their ``describe()``)."""
-    out = []
+    out: list[dict] = []
     for spec in specs:
         out.append({
             "name": spec.name,
@@ -70,7 +72,7 @@ def describe_fleet(specs) -> list[dict]:
     return out
 
 
-def arrivals_digest(arrivals) -> dict:
+def arrivals_digest(arrivals: Sequence[Any]) -> dict:
     """Cheap change-detecting digest of one arrival stream."""
     times = np.fromiter(
         (a.time_s for a in arrivals), dtype=np.float64,
@@ -86,15 +88,15 @@ def arrivals_digest(arrivals) -> dict:
 
 
 def config_fingerprint(
-    specs,
-    router,
-    master_queue=None,
-    faults=None,
-    retry=None,
-    arrivals=None,
+    specs: Iterable[Any],
+    router: Any,
+    master_queue: Any = None,
+    faults: Any = None,
+    retry: Any = None,
+    arrivals: Sequence[Any] | None = None,
     workload_class: str = "",
     scale_factor: float | None = None,
-    placement=None,
+    placement: Any = None,
 ) -> dict:
     """Everything that shapes a run's outcome, as a JSON-able dict.
 
@@ -115,7 +117,7 @@ def config_fingerprint(
             "policy": describe_policy(master_queue.policy),
             "placement": describe_policy(master_queue.placement),
         }
-    out = {
+    out: dict = {
         "fleet": describe_fleet(specs),
         "router": describe_policy(router),
         "qed": qed,

@@ -49,7 +49,7 @@ class Histogram:
     """Full-resolution value distribution (simulation scale allows it)."""
 
     name: str
-    values: list = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
 
     def observe(self, value: float) -> None:
         self.values.append(value)
@@ -81,7 +81,7 @@ class Histogram:
 class MetricsRegistry:
     """Create-or-get metric store plus the sampled time series."""
 
-    def __init__(self, window_s: float = 30.0):
+    def __init__(self, window_s: float = 30.0) -> None:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
         self.window_s = window_s
@@ -89,7 +89,7 @@ class MetricsRegistry:
 
     def begin_run(self, run_id: str | None = None) -> None:
         """Fresh per-run state (the simulator calls this per schedule)."""
-        self.run_id = run_id
+        self.run_id: str | None = run_id
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}

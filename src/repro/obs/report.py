@@ -26,13 +26,15 @@ envelope decomposes additively in time.
 
 from __future__ import annotations
 
+from typing import Any
+
 #: Max |sum-of-phases - modeled total| / max(1, total), relative.
 RECONCILE_TOLERANCE = 1e-9
 
 
-def energy_attribution(measurement) -> dict:
+def energy_attribution(measurement: Any) -> dict:
     """Per-node, per-phase joule breakdown of one cluster measurement."""
-    nodes = {}
+    nodes: dict = {}
     phase_totals = {"busy_j": 0.0, "idle_j": 0.0, "wake_j": 0.0,
                     "sleep_j": 0.0}
     modeled_sum = 0.0

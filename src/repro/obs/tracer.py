@@ -21,6 +21,7 @@ pays only dead branch checks.  :class:`SpanTracer` records everything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 #: Phases that end a query's life.  Every arrival gets exactly one.
 TERMINAL_PHASES = ("served", "shed", "dead-letter")
@@ -47,7 +48,7 @@ class Span:
 
     @property
     def is_instant(self) -> bool:
-        return self.end_s == self.start_s
+        return self.end_s == self.start_s  # repro: noqa[FLOAT-EQ]: instants copy start_s into end_s exactly
 
     @property
     def is_terminal(self) -> bool:
@@ -83,18 +84,19 @@ class Tracer:
         return 0
 
     def instant(self, name: str, track: str, t_s: float,
-                parent: int | None = None, **args) -> int:
+                parent: int | None = None, **args: Any) -> int:
         return 0
 
     def span(self, name: str, track: str, start_s: float, end_s: float,
-             parent: int | None = None, **args) -> int:
+             parent: int | None = None, **args: Any) -> int:
         return 0
 
-    def dispatch(self, partition: str, batch) -> None:
+    def dispatch(self, partition: str, batch: Any) -> None:
         pass
 
     def terminal(self, name: str, sql: str, arrival_s: float,
-                 t_s: float, track: str = MASTER_TRACK, **args) -> int:
+                 t_s: float, track: str = MASTER_TRACK,
+                 **args: Any) -> int:
         return 0
 
     def finish(self, horizon_s: float) -> None:
@@ -139,11 +141,11 @@ class SpanTracer(Tracer):
         return span_id
 
     def instant(self, name: str, track: str, t_s: float,
-                parent: int | None = None, **args) -> int:
+                parent: int | None = None, **args: Any) -> int:
         return self._record(name, track, t_s, t_s, parent, args)
 
     def span(self, name: str, track: str, start_s: float, end_s: float,
-             parent: int | None = None, **args) -> int:
+             parent: int | None = None, **args: Any) -> int:
         return self._record(name, track, start_s, end_s, parent, args)
 
     def arrival(self, sql: str, t_s: float) -> int:
@@ -154,7 +156,7 @@ class SpanTracer(Tracer):
     def parent_of(self, sql: str, arrival_s: float) -> int | None:
         return self._arrival_ids.get((sql, arrival_s))
 
-    def dispatch(self, partition: str, batch) -> None:
+    def dispatch(self, partition: str, batch: Any) -> None:
         """One batch leaving an admission queue: a dispatch instant on
         the master track plus a queue-wait span per member query."""
         dispatch_id = self.instant(
@@ -172,7 +174,8 @@ class SpanTracer(Tracer):
                 )
 
     def terminal(self, name: str, sql: str, arrival_s: float,
-                 t_s: float, track: str = MASTER_TRACK, **args) -> int:
+                 t_s: float, track: str = MASTER_TRACK,
+                 **args: Any) -> int:
         if name not in TERMINAL_PHASES:
             raise ValueError(f"{name!r} is not a terminal phase")
         return self.instant(
